@@ -1,0 +1,78 @@
+// Shared setup for the experiment harnesses (bench_e1 ... bench_e8).
+//
+// Every bench is environment-tunable so the experiments can be scaled up
+// without recompiling:
+//   CAFE_BENCH_MB       collection size in megabases (default per bench)
+//   CAFE_BENCH_QUERIES  number of queries (default per bench)
+//   CAFE_BENCH_SEED     RNG seed (default 42)
+
+#ifndef CAFE_BENCH_BENCH_COMMON_H_
+#define CAFE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "sim/generator.h"
+#include "sim/workload.h"
+#include "util/env.h"
+#include "util/stringutil.h"
+
+namespace cafe::bench {
+
+inline uint64_t SeedFromEnv() {
+  return static_cast<uint64_t>(GetEnvInt("CAFE_BENCH_SEED", 42));
+}
+
+inline double MegabasesFromEnv(double default_mb) {
+  int64_t v = GetEnvInt("CAFE_BENCH_MB", -1);
+  return v > 0 ? static_cast<double>(v) : default_mb;
+}
+
+inline uint32_t QueriesFromEnv(uint32_t default_queries) {
+  int64_t v = GetEnvInt("CAFE_BENCH_QUERIES", -1);
+  return v > 0 ? static_cast<uint32_t>(v) : default_queries;
+}
+
+/// Exits the process on error — appropriate for a bench main.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*result);
+}
+
+inline void Unwrap(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// GenBank-like collection of ~`megabases` million bases.
+inline SequenceCollection MakeCollection(double megabases, uint64_t seed) {
+  sim::CollectionOptions options;
+  options.target_bases = static_cast<uint64_t>(megabases * 1e6);
+  options.seed = seed;
+  sim::CollectionGenerator gen(options);
+  return Unwrap(gen.Generate(), "collection generation");
+}
+
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("reproduces: %s\n\n", claim);
+}
+
+inline void PrintCollectionLine(const SequenceCollection& col) {
+  std::printf("collection: %u sequences, %s bases\n\n", col.NumSequences(),
+              WithCommas(col.TotalBases()).c_str());
+}
+
+}  // namespace cafe::bench
+
+#endif  // CAFE_BENCH_BENCH_COMMON_H_

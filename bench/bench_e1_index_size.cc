@@ -1,0 +1,79 @@
+// E1 — Index size vs interval length.
+//
+// The paper's central representational table: fixed-length intervals are
+// a suitable indexing basis, with the interval length n trading vocabulary
+// size (4^n) against postings selectivity, and compression holding the
+// index to an acceptable size. For each n we report vocabulary occupancy,
+// postings volume, compressed bits per posting, the serialized index size
+// for positional and document granularity, and the ratio to the database.
+// "raw bits/post" is what a naive uncompressed (32-bit id + 32-bit offset)
+// index would pay — the compression claim in one column.
+
+#include "bench_common.h"
+#include "eval/table.h"
+#include "index/interval.h"
+#include "index/inverted_index.h"
+#include "util/timer.h"
+
+using namespace cafe;
+
+int main() {
+  bench::PrintHeader("E1: index size vs interval length",
+                     "\"fixed-length substrings, or intervals, are a "
+                     "suitable basis for indexing\"; \"by use of suitable "
+                     "compression techniques the index size is held to an "
+                     "acceptable level\"");
+
+  SequenceCollection col = bench::MakeCollection(
+      bench::MegabasesFromEnv(4.0), bench::SeedFromEnv());
+  bench::PrintCollectionLine(col);
+
+  eval::TablePrinter table({"n", "vocab used", "vocab %", "postings",
+                            "bits/post", "raw bits/post", "pos index",
+                            "pos %db", "doc index", "doc %db",
+                            "build s"});
+  for (int n : {4, 6, 8, 10, 12}) {
+    IndexOptions options;
+    options.interval_length = n;
+
+    WallTimer timer;
+    Result<InvertedIndex> pos = IndexBuilder::Build(col, options);
+    double build_s = timer.Seconds();
+    if (!pos.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   pos.status().ToString().c_str());
+      return 1;
+    }
+
+    options.granularity = IndexGranularity::kDocument;
+    Result<InvertedIndex> doc = IndexBuilder::Build(col, options);
+    if (!doc.ok()) return 1;
+
+    const IndexStats& s = pos->stats();
+    uint64_t pos_bytes = pos->SerializedBytes();
+    uint64_t doc_bytes = doc->SerializedBytes();
+    double vocab_pct = 100.0 * static_cast<double>(s.num_terms) /
+                       static_cast<double>(VocabularyUniverse(n));
+    table.AddRow(
+        {std::to_string(n), WithCommas(s.num_terms),
+         FormatDouble(vocab_pct, 1), WithCommas(s.total_postings),
+         FormatDouble(s.bits_per_posting, 1), "64.0",
+         HumanBytes(pos_bytes),
+         FormatDouble(100.0 * static_cast<double>(pos_bytes) /
+                          static_cast<double>(col.TotalBases()),
+                      0),
+         HumanBytes(doc_bytes),
+         FormatDouble(100.0 * static_cast<double>(doc_bytes) /
+                          static_cast<double>(col.TotalBases()),
+                      0),
+         FormatDouble(build_s, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: vocabulary saturates for small n (every 4^n string "
+      "occurs)\nand empties out as 4^n passes the collection size; "
+      "compressed positional\npostings stay near ~20 bits vs 64 raw; "
+      "document-granularity indexes are\nseveral times smaller. %%db is "
+      "relative to one byte per base.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// E2 — Postings compression techniques.
+//
+// The paper compresses inverted lists with the Bell/Moffat/Zobel toolkit;
+// the citing papers name Golomb codes for gap sequences and Elias gamma
+// for counts. This bench extracts the *actual* gap streams of an n=8
+// positional index built over the synthetic collection — document gaps,
+// in-sequence occurrence counts, and position gaps — and compares every
+// codec in the library on bits per value and encode/decode speed.
+
+#include <numeric>
+
+#include "bench_common.h"
+#include "coding/codec.h"
+#include "eval/table.h"
+#include "index/inverted_index.h"
+#include "util/timer.h"
+
+using namespace cafe;
+
+namespace {
+
+struct Stream {
+  const char* name;
+  std::vector<uint64_t> values;
+};
+
+void Report(const Stream& stream) {
+  std::printf("stream: %s (%s values, mean %.1f)\n", stream.name,
+              WithCommas(stream.values.size()).c_str(),
+              static_cast<double>(std::accumulate(stream.values.begin(),
+                                                  stream.values.end(),
+                                                  uint64_t{0})) /
+                  static_cast<double>(stream.values.size()));
+  eval::TablePrinter table(
+      {"codec", "bits/value", "vs fixed32", "encode Mv/s", "decode Mv/s"});
+  for (coding::CodecId id : coding::AllCodecIds()) {
+    if (id == coding::CodecId::kUnary) continue;  // pathological on gaps
+    auto codec = coding::CreateCodec(id);
+
+    BitWriter w;
+    WallTimer enc;
+    codec->Encode(stream.values, &w);
+    double enc_s = enc.Seconds();
+    uint64_t bits = w.bit_count();
+    std::vector<uint8_t> blob = w.Finish();
+
+    BitReader r(blob);
+    std::vector<uint64_t> back;
+    WallTimer dec;
+    codec->Decode(&r, stream.values.size(), &back);
+    double dec_s = dec.Seconds();
+    if (back != stream.values) {
+      std::fprintf(stderr, "codec %s corrupted the stream!\n",
+                   codec->name().c_str());
+      std::exit(1);
+    }
+
+    double bpv = static_cast<double>(bits) /
+                 static_cast<double>(stream.values.size());
+    double mvs_enc = static_cast<double>(stream.values.size()) / enc_s / 1e6;
+    double mvs_dec = static_cast<double>(stream.values.size()) / dec_s / 1e6;
+    table.AddRow({codec->name(), FormatDouble(bpv, 2),
+                  FormatDouble(32.0 / bpv, 1) + "x",
+                  FormatDouble(mvs_enc, 0), FormatDouble(mvs_dec, 0)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "E2: inverted-list compression techniques",
+      "\"by use of suitable compression techniques the index size is held "
+      "to an acceptable level\" (Golomb for gaps, Elias gamma for counts)");
+
+  SequenceCollection col = bench::MakeCollection(
+      bench::MegabasesFromEnv(2.0), bench::SeedFromEnv());
+  bench::PrintCollectionLine(col);
+
+  IndexOptions options;
+  options.interval_length = 8;
+  Result<InvertedIndex> index = IndexBuilder::Build(col, options);
+  if (!index.ok()) return 1;
+
+  // Reconstruct the three value streams the index actually encodes.
+  Stream doc_gaps{"document gaps", {}};
+  Stream counts{"within-sequence counts (tf)", {}};
+  Stream pos_gaps{"position gaps", {}};
+  index->directory().ForEachTerm([&](uint32_t term, const TermEntry&) {
+    uint32_t prev_doc = 0;
+    bool first = true;
+    index->ForEachPosting(term, [&](uint32_t doc, uint32_t tf,
+                                    const uint32_t* positions,
+                                    uint32_t npos) {
+      doc_gaps.values.push_back(first ? doc + 1 : doc - prev_doc);
+      prev_doc = doc;
+      first = false;
+      counts.values.push_back(tf);
+      uint32_t prev_pos = 0;
+      bool first_pos = true;
+      for (uint32_t i = 0; i < npos; ++i) {
+        pos_gaps.values.push_back(first_pos ? positions[i] + 1
+                                            : positions[i] - prev_pos);
+        prev_pos = positions[i];
+        first_pos = false;
+      }
+    });
+  });
+
+  Report(doc_gaps);
+  Report(counts);
+  Report(pos_gaps);
+
+  // Ablation (DESIGN.md): Golomb parameter choice — the index computes a
+  // near-optimal b per postings list from (df, N); the alternative is one
+  // global parameter from collection-wide statistics. Re-encode every
+  // term's document-gap list both ways.
+  {
+    uint64_t per_list_bits = 0;
+    uint64_t global_bits = 0;
+    uint64_t total_entries = 0;
+    const uint32_t num_docs = index->num_docs();
+    uint64_t total_df = 0;
+    index->directory().ForEachTerm(
+        [&](uint32_t, const TermEntry& e) { total_df += e.doc_count; });
+    uint64_t terms = index->stats().num_terms;
+    uint64_t global_b = coding::OptimalGolombParameter(
+        total_df, terms * uint64_t{num_docs});
+
+    index->directory().ForEachTerm([&](uint32_t term, const TermEntry& e) {
+      uint64_t per_b =
+          coding::OptimalGolombParameter(e.doc_count, num_docs);
+      uint32_t prev = 0;
+      bool first = true;
+      index->ForEachPosting(term, [&](uint32_t doc, uint32_t,
+                                      const uint32_t*, uint32_t) {
+        uint64_t gap = first ? doc + 1 : doc - prev;
+        per_list_bits += coding::GolombBits(gap, per_b);
+        global_bits += coding::GolombBits(gap, global_b);
+        prev = doc;
+        first = false;
+        ++total_entries;
+      });
+    });
+
+    std::printf("ablation: Golomb parameter choice on document gaps\n");
+    eval::TablePrinter atable({"parameter", "bits/gap", "overhead"});
+    double per = static_cast<double>(per_list_bits) /
+                 static_cast<double>(total_entries);
+    double glob = static_cast<double>(global_bits) /
+                  static_cast<double>(total_entries);
+    atable.AddRow({"per-list optimal (index's choice)",
+                   FormatDouble(per, 2), "-"});
+    atable.AddRow({"single global parameter", FormatDouble(glob, 2),
+                   FormatDouble(100.0 * (glob - per) / per, 1) + "%"});
+    atable.Print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "shape check: golomb/rice win on the geometric gap streams (the "
+      "paper's\nchoice for offsets); gamma wins on the tiny tf counts (the "
+      "paper's choice\nfor counts); vbyte trades compression for byte-"
+      "aligned decode speed.\n");
+  return 0;
+}

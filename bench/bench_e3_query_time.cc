@@ -1,0 +1,128 @@
+// E3 — Query evaluation time: partitioned search vs exhaustive techniques.
+//
+// The abstract's headline: "queries can be evaluated several times more
+// quickly than with exhaustive search techniques". We run the same query
+// batch through the partitioned engine (both coarse-ranking modes), the
+// scan-based BLAST-like and FASTA-like heuristics, and full Smith-
+// Waterman, reporting per-query wall time, speedup over exhaustive SW,
+// and the work accounting that explains it (DP cells, candidates).
+
+#include <memory>
+
+#include "bench_common.h"
+#include "index/disk_index.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "search/blast_like.h"
+#include "search/exhaustive.h"
+#include "search/fasta_like.h"
+#include "search/partitioned.h"
+#include "util/timer.h"
+
+using namespace cafe;
+
+int main() {
+  bench::PrintHeader(
+      "E3: query evaluation time vs exhaustive search",
+      "\"queries can be evaluated several times more quickly than with "
+      "exhaustive search techniques\" (later CAFE reports ~8x BLAST, "
+      "~50x FASTA)");
+
+  SequenceCollection col = bench::MakeCollection(
+      bench::MegabasesFromEnv(4.0), bench::SeedFromEnv());
+  bench::PrintCollectionLine(col);
+
+  const uint32_t num_queries = bench::QueriesFromEnv(5);
+  std::vector<std::string> queries = bench::Unwrap(
+      sim::SampleQueries(col, num_queries, 300, 0.08, bench::SeedFromEnv()),
+      "query sampling");
+  std::printf("queries: %u of length ~300 at 8%% divergence\n\n",
+              num_queries);
+
+  IndexOptions iopt;
+  iopt.interval_length = 8;
+  WallTimer build_timer;
+  Result<InvertedIndex> index = IndexBuilder::Build(col, iopt);
+  if (!index.ok()) return 1;
+  std::printf("index: built in %.1fs, %s on disk\n\n", build_timer.Seconds(),
+              HumanBytes(index->SerializedBytes()).c_str());
+
+  // Disk-resident variant of the same index (CAFE's deployment shape).
+  std::string disk_path = TempDir() + "/cafe_bench_e3.idx";
+  bench::Unwrap(index->Save(disk_path), "index save");
+  Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Open(disk_path);
+  if (!disk.ok()) return 1;
+
+  SearchOptions options;
+  options.max_results = 20;
+  options.fine_candidates = 100;
+
+  PartitionedSearch part_diag(&col, &*index);
+  PartitionedSearch part_disk(&col, disk->get());
+  PartitionedSearch part_hits(&col, &*index);
+  BlastLikeSearch blast(&col);
+  FastaLikeSearch fasta(&col);
+  ExhaustiveSearch exhaustive(&col);
+
+  struct Row {
+    const char* label;
+    SearchEngine* engine;
+    SearchOptions options;
+  };
+  SearchOptions hit_options = options;
+  hit_options.coarse_mode = CoarseRankMode::kHitCount;
+  std::vector<Row> rows = {
+      {"partitioned (diagonal)", &part_diag, options},
+      {"partitioned (disk index)", &part_disk, options},
+      {"partitioned (hit-count)", &part_hits, hit_options},
+      {"blast-like scan", &blast, options},
+      {"fasta-like scan", &fasta, options},
+      {"exhaustive SW", &exhaustive, options},
+  };
+
+  eval::TablePrinter table({"engine", "ms/query", "speedup", "Mcells/query",
+                            "aligned/query", "top hit agrees"});
+  double exhaustive_ms = 0.0;
+  std::vector<eval::BatchResult> batches;
+  for (Row& row : rows) {
+    batches.push_back(bench::Unwrap(
+        eval::RunBatch(row.engine, queries, row.options), row.label));
+  }
+  exhaustive_ms = batches.back().mean_query_seconds * 1e3;
+
+  const eval::BatchResult& oracle = batches.back();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const eval::BatchResult& b = batches[i];
+    double ms = b.mean_query_seconds * 1e3;
+    uint32_t agree = 0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (!b.results[q].hits.empty() && !oracle.results[q].hits.empty() &&
+          b.results[q].hits[0].seq_id == oracle.results[q].hits[0].seq_id) {
+        ++agree;
+      }
+    }
+    table.AddRow(
+        {rows[i].label, FormatDouble(ms, 1),
+         FormatDouble(exhaustive_ms / ms, 1) + "x",
+         FormatDouble(static_cast<double>(b.aggregate.cells_computed) /
+                          queries.size() / 1e6,
+                      1),
+         FormatDouble(static_cast<double>(b.aggregate.candidates_aligned) /
+                          queries.size(),
+                      0),
+         std::to_string(agree) + "/" + std::to_string(queries.size())});
+  }
+  table.Print();
+  std::printf("\ndisk index: %s read for %llu postings fetches "
+              "(%llu cache hits)\n",
+              HumanBytes((*disk)->cache_stats().bytes_read).c_str(),
+              static_cast<unsigned long long>((*disk)->cache_stats().misses),
+              static_cast<unsigned long long>((*disk)->cache_stats().hits));
+  bench::Unwrap(RemoveFile(disk_path), "cleanup");
+
+  std::printf(
+      "\nshape check: partitioned search is several times faster than the "
+      "scan\nbaselines and 1-2 orders faster than exhaustive SW, at equal "
+      "top-hit\nanswers; the Mcells column shows where the time goes.\n");
+  return 0;
+}

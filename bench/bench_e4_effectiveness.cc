@@ -1,0 +1,113 @@
+// E4 — Retrieval effectiveness vs fine-search budget.
+//
+// Partitioned search trades a "small reduction in search accuracy" for its
+// speed; the dial is how many coarse candidates receive fine alignment.
+// With planted homologues we can measure this exactly: recall of the true
+// answer set and overlap with the exhaustive Smith-Waterman oracle, as a
+// function of fine_candidates, alongside the per-query cost.
+
+#include "bench_common.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "search/exhaustive.h"
+#include "search/partitioned.h"
+
+using namespace cafe;
+
+int main() {
+  bench::PrintHeader(
+      "E4: retrieval effectiveness vs candidates fine-searched",
+      "index-based partitioned search matches exhaustive ranking with a "
+      "\"small reduction in search accuracy\"");
+
+  sim::CollectionOptions copt;
+  copt.target_bases =
+      static_cast<uint64_t>(bench::MegabasesFromEnv(1.0) * 1e6);
+  copt.seed = bench::SeedFromEnv();
+  sim::WorkloadOptions wopt;
+  wopt.num_queries = bench::QueriesFromEnv(8);
+  wopt.query_length = 300;
+  wopt.homologs_per_query = 6;
+  wopt.min_homolog_divergence = 0.05;
+  wopt.max_homolog_divergence = 0.30;
+  wopt.seed = bench::SeedFromEnv() + 1;
+
+  Result<sim::PlantedWorkload> wl = sim::BuildPlantedWorkload(copt, wopt);
+  if (!wl.ok()) return 1;
+  bench::PrintCollectionLine(wl->collection);
+  std::printf("queries: %u, planted homologues per query: %u "
+              "(5%%..30%% divergence)\n\n",
+              wopt.num_queries, wopt.homologs_per_query);
+
+  IndexOptions iopt;
+  iopt.interval_length = 8;
+  Result<InvertedIndex> index = IndexBuilder::Build(wl->collection, iopt);
+  if (!index.ok()) return 1;
+
+  std::vector<std::string> queries;
+  for (const auto& q : wl->queries) queries.push_back(q.sequence);
+
+  // Exhaustive oracle ranking, computed once.
+  SearchOptions oracle_options;
+  oracle_options.max_results = 20;
+  ExhaustiveSearch exhaustive(&wl->collection);
+  eval::BatchResult oracle = bench::Unwrap(
+      eval::RunBatch(&exhaustive, queries, oracle_options), "oracle");
+  double oracle_ms = oracle.mean_query_seconds * 1e3;
+
+  // "Significant" oracle hits: score at least 40% of that query's best —
+  // real homologies rather than the random-alignment noise floor that any
+  // 20-deep ranking over random background necessarily drags in.
+  auto significant = [&](const SearchResult& r) {
+    std::vector<SearchHit> out;
+    if (r.hits.empty()) return out;
+    int floor = r.hits[0].score * 2 / 5;
+    for (const SearchHit& h : r.hits) {
+      if (h.score >= floor) out.push_back(h);
+    }
+    return out;
+  };
+
+  PartitionedSearch part(&wl->collection, &*index);
+  eval::TablePrinter table({"fine candidates", "planted recall@20",
+                            "sig overlap@20", "oracle overlap@10",
+                            "oracle overlap@20", "ms/query",
+                            "vs exhaustive"});
+  for (uint32_t candidates : {1u, 5u, 10u, 20u, 50u, 100u, 250u}) {
+    SearchOptions options;
+    options.max_results = 20;
+    options.fine_candidates = candidates;
+    eval::BatchResult batch = bench::Unwrap(
+        eval::RunBatch(&part, queries, options), "partitioned batch");
+
+    double recall = 0, sig20 = 0, overlap10 = 0, overlap20 = 0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      recall += eval::RecallAtK(batch.results[q].hits,
+                                wl->queries[q].true_positives, 20);
+      sig20 += eval::OverlapAtK(batch.results[q].hits,
+                                significant(oracle.results[q]), 20);
+      overlap10 +=
+          eval::OverlapAtK(batch.results[q].hits, oracle.results[q].hits, 10);
+      overlap20 +=
+          eval::OverlapAtK(batch.results[q].hits, oracle.results[q].hits, 20);
+    }
+    double n = static_cast<double>(queries.size());
+    double ms = batch.mean_query_seconds * 1e3;
+    table.AddRow({std::to_string(candidates), FormatDouble(recall / n, 3),
+                  FormatDouble(sig20 / n, 3), FormatDouble(overlap10 / n, 3),
+                  FormatDouble(overlap20 / n, 3), FormatDouble(ms, 1),
+                  FormatDouble(oracle_ms / ms, 1) + "x"});
+  }
+  table.Print();
+  std::printf("\nexhaustive oracle: %.1f ms/query\n", oracle_ms);
+  std::printf(
+      "\nshape check: planted recall and significant-hit overlap climb "
+      "steeply and\nsaturate near 1.0 within tens of candidates — the "
+      "accuracy loss at practical\nbudgets is small while the speedup over "
+      "exhaustive remains large. The raw\noverlap@20 stays lower because "
+      "an exhaustive top-20 over random background\nis mostly noise-floor "
+      "alignments, which no selective method (nor the paper's)\n"
+      "reproduces.\n");
+  return 0;
+}

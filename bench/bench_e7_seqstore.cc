@@ -1,0 +1,218 @@
+// E7 — Direct-coded sequence storage (the `cino` companion result).
+//
+// The same group's direct-coding paper (integrated into CAFE: "retrieval
+// times fell by over 20%") stores nucleotides byte-packed with wildcard
+// exceptions: lossless, ~2 bits/base, order-independent access, and
+// faster end-to-end retrieval than uncompressed storage because the disk/
+// memory traffic shrinks 4x. We compare ASCII vs direct coding on size,
+// sequential decode, random access, and a scan-style workload.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "eval/table.h"
+#include "align/smith_waterman.h"
+#include "align/xdrop.h"
+#include "seqstore/packed_view.h"
+#include "seqstore/plain_store.h"
+#include "seqstore/sequence_store.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace cafe;
+
+int main() {
+  bench::PrintHeader(
+      "E7: direct-coded sequence store vs uncompressed",
+      "cino direct coding: lossless ~2 bits/base incl. wildcards, faster "
+      "retrieval than uncompressed storage (\"retrieval times fell by "
+      "over 20%\")");
+
+  SequenceCollection col = bench::MakeCollection(
+      bench::MegabasesFromEnv(4.0), bench::SeedFromEnv());
+  bench::PrintCollectionLine(col);
+
+  // Build both stores from the same sequences.
+  SequenceStore direct;
+  PlainSequenceStore plain;
+  std::string seq;
+  for (uint32_t i = 0; i < col.NumSequences(); ++i) {
+    bench::Unwrap(col.GetSequence(i, &seq), "sequence fetch");
+    bench::Unwrap(direct.Append(seq).status(), "direct append");
+    bench::Unwrap(plain.Append(seq).status(), "plain append");
+  }
+
+  struct StoreRow {
+    const char* label;
+    SequenceStoreInterface* store;
+  };
+  std::vector<StoreRow> stores = {{"ascii (1 byte/base)", &plain},
+                                  {"direct coding", &direct}};
+
+  // The >20% retrieval improvement in the cino paper comes from moving
+  // fewer bytes from disk. This process runs entirely in RAM, so we model
+  // the 1996-era storage channel explicitly: a sequential-read bandwidth
+  // of CAFE_BENCH_DISK_MBS megabytes/second (default 25) is charged for
+  // each store's bytes on top of the measured in-memory scan time.
+  const double disk_mbs =
+      static_cast<double>(GetEnvInt("CAFE_BENCH_DISK_MBS", 25));
+  eval::TablePrinter table({"store", "bytes", "bits/base", "seq decode MB/s",
+                            "random access Mb/s", "full scan ms",
+                            "scan+disk ms"});
+  const uint32_t n = col.NumSequences();
+  Rng rng(bench::SeedFromEnv());
+  std::vector<uint32_t> random_ids(20000);
+  for (uint32_t& id : random_ids) {
+    id = static_cast<uint32_t>(rng.Uniform(n));
+  }
+
+  for (const StoreRow& row : stores) {
+    // Sequential decode of the whole store.
+    WallTimer seq_timer;
+    uint64_t bases = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      bench::Unwrap(row.store->Get(i, &seq), "get");
+      bases += seq.size();
+    }
+    double seq_s = seq_timer.Seconds();
+
+    // Random access pattern (the fine-search phase's access shape).
+    WallTimer rand_timer;
+    uint64_t rand_bases = 0;
+    for (uint32_t id : random_ids) {
+      bench::Unwrap(row.store->Get(id, &seq), "get");
+      rand_bases += seq.size();
+    }
+    double rand_s = rand_timer.Seconds();
+
+    // Scan-style pass (decode + touch every base), modeling a search
+    // engine reading the whole collection.
+    WallTimer scan_timer;
+    uint64_t checksum = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      bench::Unwrap(row.store->Get(i, &seq), "get");
+      for (char c : seq) checksum += static_cast<unsigned char>(c);
+    }
+    double scan_s = scan_timer.Seconds();
+    if (checksum == 42) std::printf(" ");  // defeat dead-code elimination
+
+    double bytes = static_cast<double>(row.store->StorageBytes());
+    double disk_ms = bytes / (disk_mbs * 1e6) * 1e3;
+    table.AddRow(
+        {row.label, WithCommas(row.store->StorageBytes()),
+         FormatDouble(bytes * 8.0 / static_cast<double>(bases), 2),
+         FormatDouble(static_cast<double>(bases) / seq_s / 1e6, 0),
+         FormatDouble(static_cast<double>(rand_bases) / rand_s / 1e6, 0),
+         FormatDouble(scan_s * 1e3, 1),
+         FormatDouble(scan_s * 1e3 + disk_ms, 1)});
+  }
+  table.Print();
+
+  // Wildcard-rate sensitivity: direct coding must stay near 2 bits/base
+  // at realistic wildcard densities.
+  std::printf("\nwildcard sensitivity (direct coding):\n");
+  eval::TablePrinter wtable({"wildcard rate", "bits/base"});
+  for (double rate : {0.0, 0.0002, 0.002, 0.02}) {
+    sim::CollectionOptions copt;
+    copt.target_bases = 500000;
+    copt.wildcard_rate = rate;
+    copt.seed = bench::SeedFromEnv() + 17;
+    SequenceCollection wcol =
+        bench::Unwrap(sim::CollectionGenerator(copt).Generate(), "gen");
+    SequenceStore wstore;
+    for (uint32_t i = 0; i < wcol.NumSequences(); ++i) {
+      bench::Unwrap(wcol.GetSequence(i, &seq), "get");
+      bench::Unwrap(wstore.Append(seq).status(), "append");
+    }
+    wtable.AddRow(
+        {FormatDouble(rate, 4),
+         FormatDouble(static_cast<double>(wstore.StorageBytes()) * 8.0 /
+                          static_cast<double>(wcol.TotalBases()),
+                      3)});
+  }
+  wtable.Print();
+
+  // Packed comparison on the stored representation: the companion claim
+  // ("queries and collection sequences compared four bases at a time")
+  // — ungapped X-drop extension fed by the store's packed payload vs the
+  // conventional decode-then-compare path.
+  {
+    std::printf("\npacked comparison (ungapped X-drop on 2000-base "
+                "homologous pairs):\n");
+    sim::CollectionOptions copt;
+    copt.num_sequences = 2;
+    copt.min_length = 2000;
+    copt.max_length = 2000;
+    copt.length_mu = 9.0;
+    copt.wildcard_rate = 0;
+    copt.seed = bench::SeedFromEnv() + 23;
+    sim::CollectionGenerator gen(copt);
+    std::string sa = gen.RandomSequence(2000);
+    std::string sb = sa;
+    Rng mut(9);
+    for (char& c : sb) {
+      if (mut.Bernoulli(0.02)) c = "ACGT"[mut.Uniform(4)];
+    }
+    ScoringScheme scheme;
+    PairScoreTable table(scheme);
+    SequenceStore pstore;
+    bench::Unwrap(pstore.Append(sa).status(), "append");
+    bench::Unwrap(pstore.Append(sb).status(), "append");
+    PackedView va = bench::Unwrap(pstore.GetPackedView(0), "view");
+    PackedView vb = bench::Unwrap(pstore.GetPackedView(1), "view");
+
+    const int reps = 20000;
+    WallTimer scalar_t;
+    uint64_t sink = 0;
+    for (int i = 0; i < reps; ++i) {
+      sink += static_cast<uint64_t>(
+          XDropExtend(sa, sb, 1000, 1000, 11, table, 100).score);
+    }
+    double scalar_s = scalar_t.Seconds();
+    WallTimer packed_t;
+    for (int i = 0; i < reps; ++i) {
+      sink += static_cast<uint64_t>(
+          PackedXDropExtend(va, vb, 1000, 1000, 11, scheme.match,
+                            scheme.mismatch, 100)
+              .score);
+    }
+    double packed_s = packed_t.Seconds();
+    // Scalar path as a search engine actually pays it: the candidate
+    // must be decoded from the store before chars can be compared.
+    WallTimer decode_t;
+    std::string decoded;
+    for (int i = 0; i < reps; ++i) {
+      bench::Unwrap(pstore.Get(1, &decoded), "get");
+      sink += static_cast<uint64_t>(
+          XDropExtend(sa, decoded, 1000, 1000, 11, table, 100).score);
+    }
+    double decode_s = decode_t.Seconds();
+    if (sink == 42) std::printf(" ");
+    UngappedSegment check_s = XDropExtend(sa, sb, 1000, 1000, 11, table, 100);
+    UngappedSegment check_p = PackedXDropExtend(
+        va, vb, 1000, 1000, 11, scheme.match, scheme.mismatch, 100);
+    eval::TablePrinter ptable({"path", "extensions/s", "bases/s (M)",
+                               "same result"});
+    double span = static_cast<double>(check_s.Length());
+    ptable.AddRow({"scalar (pre-decoded chars)",
+                   FormatDouble(reps / scalar_s, 0),
+                   FormatDouble(reps * span / scalar_s / 1e6, 0), "-"});
+    ptable.AddRow({"scalar (decode + compare)",
+                   FormatDouble(reps / decode_s, 0),
+                   FormatDouble(reps * span / decode_s / 1e6, 0), "-"});
+    ptable.AddRow({"packed (store payload)",
+                   FormatDouble(reps / packed_s, 0),
+                   FormatDouble(reps * span / packed_s / 1e6, 0),
+                   check_p.score == check_s.score ? "yes" : "NO"});
+    ptable.Print();
+  }
+
+  std::printf(
+      "\nshape check: direct coding is ~4x smaller at ~2 bits/base "
+      "(wildcards cost\nmillibits at GenBank rates). In RAM the decode adds "
+      "a little CPU, but once\nthe storage channel is charged (scan+disk "
+      "column) the compressed store wins\nby far more than the >20%% "
+      "retrieval improvement the cino paper reports —\ndisk, not CPU, was "
+      "the 1996 bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the alignment kernels: cells/s
+// of score-only Smith-Waterman, banded alignment, traceback alignment and
+// X-drop extension — the constants that size experiments E3-E5.
+
+#include <benchmark/benchmark.h>
+
+#include "align/smith_waterman.h"
+#include "align/xdrop.h"
+#include "seqstore/packed_view.h"
+#include "alphabet/nucleotide.h"
+#include "util/random.h"
+
+namespace cafe {
+namespace {
+
+std::string RandomSeq(size_t len, uint64_t seed) {
+  Rng rng(seed);
+  std::string s(len, 'A');
+  for (char& c : s) c = CodeToBase(static_cast<int>(rng.Uniform(4)));
+  return s;
+}
+
+void BM_SmithWatermanScore(benchmark::State& state) {
+  const size_t qlen = static_cast<size_t>(state.range(0));
+  const size_t tlen = static_cast<size_t>(state.range(1));
+  std::string q = RandomSeq(qlen, 1);
+  std::string t = RandomSeq(tlen, 2);
+  Aligner aligner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aligner.ScoreOnly(q, t));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(qlen * tlen));
+  state.counters["Mcells/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * qlen * tlen / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SmithWatermanScore)
+    ->Args({100, 1000})
+    ->Args({400, 1000})
+    ->Args({400, 10000});
+
+void BM_SmithWatermanAlign(benchmark::State& state) {
+  std::string q = RandomSeq(300, 3);
+  std::string t = RandomSeq(1000, 4);
+  Aligner aligner;
+  for (auto _ : state) {
+    Result<LocalAlignment> a = aligner.Align(q, t);
+    benchmark::DoNotOptimize(a.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          300 * 1000);
+}
+BENCHMARK(BM_SmithWatermanAlign);
+
+void BM_BandedScore(benchmark::State& state) {
+  const int band = static_cast<int>(state.range(0));
+  std::string q = RandomSeq(400, 5);
+  std::string t = RandomSeq(1000, 6);
+  Aligner aligner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aligner.BandedScore(q, t, 0, band));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 400 *
+                          (2 * band + 1));
+}
+BENCHMARK(BM_BandedScore)->Arg(16)->Arg(48)->Arg(128);
+
+void BM_XDropExtend(benchmark::State& state) {
+  std::string core = RandomSeq(2000, 7);
+  std::string q = core;
+  std::string t = core;  // identical: worst case, extends end to end
+  ScoringScheme scheme;
+  PairScoreTable table(scheme);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        XDropExtend(q, t, 1000, 1000, 11, table, 20));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_XDropExtend);
+
+void BM_PackedMatchCount(benchmark::State& state) {
+  std::string sa = RandomSeq(4096, 8);
+  std::string sb = RandomSeq(4096, 9);
+  auto a = PackedQuery::FromString(sa);
+  auto b = PackedQuery::FromString(sb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PackedMatchCount(a->view(), 1, b->view(), 3, 4000));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4000);
+}
+BENCHMARK(BM_PackedMatchCount);
+
+void BM_PackedXDrop(benchmark::State& state) {
+  std::string core = RandomSeq(2000, 10);
+  auto a = PackedQuery::FromString(core);
+  auto b = PackedQuery::FromString(core);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PackedXDropExtend(
+        a->view(), b->view(), 1000, 1000, 11, 5, -4, 20));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_PackedXDrop);
+
+void BM_PairScoreTableBuild(benchmark::State& state) {
+  ScoringScheme scheme;
+  for (auto _ : state) {
+    PairScoreTable table(scheme);
+    benchmark::DoNotOptimize(table('A', 'C'));
+  }
+}
+BENCHMARK(BM_PairScoreTableBuild);
+
+}  // namespace
+}  // namespace cafe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Microbenchmarks (google-benchmark) for the integer-coding substrate:
+// per-value encode/decode cost of each code on geometric gap data — the
+// numbers behind E2's throughput columns.
+
+#include <benchmark/benchmark.h>
+
+#include "coding/codec.h"
+#include "util/random.h"
+
+namespace cafe::coding {
+namespace {
+
+std::vector<uint64_t> GeometricGaps(size_t count, double p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(count);
+  for (auto& v : out) v = 1 + rng.NextGeometric(p);
+  return out;
+}
+
+void BM_Encode(benchmark::State& state) {
+  auto codec = CreateCodec(static_cast<CodecId>(state.range(0)));
+  auto values = GeometricGaps(4096, 0.01, 7);
+  for (auto _ : state) {
+    BitWriter w;
+    codec->Encode(values, &w);
+    benchmark::DoNotOptimize(w.bit_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+  state.SetLabel(codec->name());
+}
+
+void BM_Decode(benchmark::State& state) {
+  auto codec = CreateCodec(static_cast<CodecId>(state.range(0)));
+  auto values = GeometricGaps(4096, 0.01, 7);
+  BitWriter w;
+  codec->Encode(values, &w);
+  std::vector<uint8_t> blob = w.Finish();
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    BitReader r(blob);
+    codec->Decode(&r, values.size(), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+  state.SetLabel(codec->name());
+}
+
+void CodecArgs(benchmark::internal::Benchmark* b) {
+  for (CodecId id : AllCodecIds()) {
+    if (id == CodecId::kUnary) continue;  // pathological for mean gap ~100
+    b->Arg(static_cast<int>(id));
+  }
+}
+
+BENCHMARK(BM_Encode)->Apply(CodecArgs);
+BENCHMARK(BM_Decode)->Apply(CodecArgs);
+
+void BM_BitWriterRaw(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BitWriter w;
+    for (int i = 0; i < 4096; ++i) {
+      w.WriteBits(static_cast<uint64_t>(i), width);
+    }
+    benchmark::DoNotOptimize(w.bit_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_BitWriterRaw)->Arg(8)->Arg(17)->Arg(32)->Arg(64);
+
+void BM_BitReaderUnary(benchmark::State& state) {
+  BitWriter w;
+  Rng rng(3);
+  for (int i = 0; i < 4096; ++i) w.WriteUnary(rng.Uniform(64));
+  std::vector<uint8_t> blob = w.Finish();
+  for (auto _ : state) {
+    BitReader r(blob);
+    uint64_t sum = 0;
+    for (int i = 0; i < 4096; ++i) sum += r.ReadUnary();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_BitReaderUnary);
+
+}  // namespace
+}  // namespace cafe::coding
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Annotated search: both-strand querying with calibrated E-values — the
+// full production-style result presentation (strand, bit score,
+// expectation, alignment) over a synthetic collection with a homologue
+// planted on the minus strand.
+//
+//   $ ./annotated_search
+
+#include <cstdio>
+
+#include "align/statistics.h"
+#include "alphabet/nucleotide.h"
+#include "eval/table.h"
+#include "search/partitioned.h"
+#include "sim/generator.h"
+#include "util/stringutil.h"
+
+using namespace cafe;
+
+int main() {
+  // A background collection plus two planted homologues: one on the
+  // forward strand, one reverse-complemented (minus strand).
+  sim::CollectionOptions copt;
+  copt.num_sequences = 400;
+  copt.seed = 77;
+  sim::CollectionGenerator gen(copt);
+  Result<SequenceCollection> col = gen.Generate();
+  if (!col.ok()) return 1;
+
+  std::string query = gen.RandomSequence(250);
+  Result<uint32_t> plus = col->Add(
+      "plus_strand", "forward homologue",
+      gen.RandomSequence(300) + query + gen.RandomSequence(300));
+  Result<uint32_t> minus = col->Add(
+      "minus_strand", "reverse-complement homologue",
+      gen.RandomSequence(300) + ReverseComplement(query) +
+          gen.RandomSequence(300));
+  if (!plus.ok() || !minus.ok()) return 1;
+
+  IndexOptions iopt;
+  iopt.interval_length = 8;
+  Result<InvertedIndex> index = IndexBuilder::Build(*col, iopt);
+  if (!index.ok()) return 1;
+
+  // Calibrate Gumbel statistics for this scoring scheme once; in a real
+  // deployment the parameters would be computed at index-build time and
+  // stored beside the index.
+  SearchOptions options;
+  options.search_both_strands = true;
+  options.max_results = 5;
+  Result<GumbelParams> params = CalibrateGumbel(
+      options.scoring, 250, 1000, /*trials=*/80, /*seed=*/7);
+  if (!params.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 params.status().ToString().c_str());
+    return 1;
+  }
+  options.statistics = *params;
+  std::printf("Gumbel calibration: lambda=%.4f K=%.4f\n\n", params->lambda,
+              params->k);
+
+  PartitionedSearch engine(&*col, &*index);
+  Result<SearchResult> result = SearchWithStrands(&engine, query, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("query: %zu bases, both strands, %u sequences (%s bases)\n\n",
+              query.size(), col->NumSequences(),
+              WithCommas(col->TotalBases()).c_str());
+  eval::TablePrinter table(
+      {"sequence", "strand", "score", "bits", "evalue"});
+  for (const SearchHit& hit : result->hits) {
+    char evalue[32];
+    std::snprintf(evalue, sizeof(evalue), "%.2e", hit.evalue);
+    table.AddRow({col->Name(hit.seq_id),
+                  hit.strand == Strand::kForward ? "+" : "-",
+                  std::to_string(hit.score),
+                  FormatDouble(hit.bit_score, 1), evalue});
+  }
+  table.Print();
+
+  std::printf(
+      "\nBoth planted homologues surface with essentially equal scores —\n"
+      "the minus-strand copy is invisible to a forward-only search.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Index explorer: build indexes over a synthetic collection at several
+// interval lengths and report the size/compression statistics that drive
+// the paper's design discussion, plus a few sample postings lists.
+//
+//   $ ./index_explorer [megabases]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/table.h"
+#include "index/index_stats.h"
+#include "index/interval.h"
+#include "index/inverted_index.h"
+#include "sim/generator.h"
+#include "util/stringutil.h"
+
+using namespace cafe;
+
+int main(int argc, char** argv) {
+  double megabases = argc > 1 ? std::atof(argv[1]) : 2.0;
+
+  sim::CollectionOptions copt;
+  copt.target_bases = static_cast<uint64_t>(megabases * 1e6);
+  copt.seed = 7;
+  Result<SequenceCollection> col = sim::CollectionGenerator(copt).Generate();
+  if (!col.ok()) {
+    std::fprintf(stderr, "error: %s\n", col.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("collection: %u sequences, %s bases\n\n", col->NumSequences(),
+              WithCommas(col->TotalBases()).c_str());
+
+  eval::TablePrinter table({"n", "terms", "postings", "bits/posting",
+                            "index bytes", "% of database"});
+  for (int n : {6, 8, 10, 12}) {
+    IndexOptions options;
+    options.interval_length = n;
+    Result<InvertedIndex> index = IndexBuilder::Build(*col, options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    const IndexStats& s = index->stats();
+    uint64_t bytes = index->SerializedBytes();
+    table.AddRow({std::to_string(n), WithCommas(s.num_terms),
+                  WithCommas(s.total_postings),
+                  FormatDouble(s.bits_per_posting, 2), WithCommas(bytes),
+                  FormatDouble(100.0 * static_cast<double>(bytes) /
+                                   static_cast<double>(col->TotalBases()),
+                               1)});
+  }
+  table.Print();
+
+  // Detailed view of one index.
+  IndexOptions options;
+  options.interval_length = 8;
+  Result<InvertedIndex> index = IndexBuilder::Build(*col, options);
+  if (!index.ok()) return 1;
+  std::printf("\n%s", FormatIndexStats(*index, col->TotalBases()).c_str());
+
+  // Show a few postings lists.
+  std::printf("\nsample postings lists (interval -> [seq:pos ...]):\n");
+  int shown = 0;
+  index->directory().ForEachTerm([&](uint32_t term, const TermEntry& e) {
+    if (shown >= 3 || e.doc_count < 3) return;
+    ++shown;
+    std::printf("  %s (df=%u):", DecodeInterval(term, 8).c_str(),
+                e.doc_count);
+    int printed = 0;
+    index->ForEachPosting(term, [&](uint32_t doc, uint32_t,
+                                    const uint32_t* positions,
+                                    uint32_t npos) {
+      if (printed >= 5) return;
+      ++printed;
+      if (npos > 0) {
+        std::printf(" %u:%u", doc, positions[0]);
+      } else {
+        std::printf(" %u", doc);
+      }
+    });
+    std::printf(" ...\n");
+  });
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "align/alignment.h"
+
+#include <sstream>
+
+namespace cafe {
+
+size_t LocalAlignment::Matches() const {
+  size_t n = 0;
+  for (EditOp op : ops) n += op == EditOp::kMatch;
+  return n;
+}
+
+size_t LocalAlignment::Mismatches() const {
+  size_t n = 0;
+  for (EditOp op : ops) n += op == EditOp::kMismatch;
+  return n;
+}
+
+size_t LocalAlignment::GapColumns() const {
+  size_t n = 0;
+  for (EditOp op : ops) {
+    n += op == EditOp::kInsertion || op == EditOp::kDeletion;
+  }
+  return n;
+}
+
+double LocalAlignment::Identity() const {
+  if (ops.empty()) return 0.0;
+  return static_cast<double>(Matches()) / static_cast<double>(ops.size());
+}
+
+std::string LocalAlignment::Cigar() const {
+  std::string out;
+  size_t i = 0;
+  while (i < ops.size()) {
+    size_t j = i;
+    while (j < ops.size() && ops[j] == ops[i]) ++j;
+    out += std::to_string(j - i);
+    out.push_back(static_cast<char>(ops[i]));
+    i = j;
+  }
+  return out;
+}
+
+std::string LocalAlignment::Format(std::string_view query,
+                                   std::string_view target,
+                                   size_t width) const {
+  if (width == 0) width = 60;
+  std::string qrow, mrow, trow;
+  size_t qi = query_begin;
+  size_t ti = target_begin;
+  for (EditOp op : ops) {
+    switch (op) {
+      case EditOp::kMatch:
+        qrow.push_back(query[qi]);
+        mrow.push_back('|');
+        trow.push_back(target[ti]);
+        ++qi;
+        ++ti;
+        break;
+      case EditOp::kMismatch:
+        qrow.push_back(query[qi]);
+        mrow.push_back(' ');
+        trow.push_back(target[ti]);
+        ++qi;
+        ++ti;
+        break;
+      case EditOp::kInsertion:
+        qrow.push_back(query[qi]);
+        mrow.push_back(' ');
+        trow.push_back('-');
+        ++qi;
+        break;
+      case EditOp::kDeletion:
+        qrow.push_back('-');
+        mrow.push_back(' ');
+        trow.push_back(target[ti]);
+        ++ti;
+        break;
+    }
+  }
+
+  std::ostringstream out;
+  out << "score " << score << "  identity "
+      << static_cast<int>(Identity() * 100.0 + 0.5) << "%  query "
+      << query_begin << ".." << query_end << "  target " << target_begin
+      << ".." << target_end << "\n";
+  for (size_t start = 0; start < qrow.size(); start += width) {
+    size_t len = std::min(width, qrow.size() - start);
+    out << "Q " << qrow.substr(start, len) << "\n";
+    out << "  " << mrow.substr(start, len) << "\n";
+    out << "T " << trow.substr(start, len) << "\n";
+    if (start + width < qrow.size()) out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cafe

@@ -1,0 +1,52 @@
+// Local alignment results and their rendering.
+
+#ifndef CAFE_ALIGN_ALIGNMENT_H_
+#define CAFE_ALIGN_ALIGNMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafe {
+
+/// One column class of an alignment transcript, extended-CIGAR style.
+enum class EditOp : char {
+  kMatch = '=',
+  kMismatch = 'X',
+  kInsertion = 'I',  // base present in the query only
+  kDeletion = 'D',   // base present in the target only
+};
+
+/// A scored local alignment between a query and a target region.
+/// Coordinate ranges are half-open: [query_begin, query_end).
+struct LocalAlignment {
+  int score = 0;
+  uint32_t query_begin = 0;
+  uint32_t query_end = 0;
+  uint32_t target_begin = 0;
+  uint32_t target_end = 0;
+  std::vector<EditOp> ops;  // empty for score-only computations
+
+  uint32_t QuerySpan() const { return query_end - query_begin; }
+  uint32_t TargetSpan() const { return target_end - target_begin; }
+
+  size_t Matches() const;
+  size_t Mismatches() const;
+  size_t GapColumns() const;
+
+  /// Matches / alignment columns, in [0, 1]; 0 for empty alignments.
+  double Identity() const;
+
+  /// Compressed CIGAR string over {=, X, I, D}, e.g. "37=1X12=2D8=".
+  std::string Cigar() const;
+
+  /// Three-line pretty print (query row, match row, target row), wrapped
+  /// at `width` columns. Requires ops to be populated.
+  std::string Format(std::string_view query, std::string_view target,
+                     size_t width = 60) const;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_ALIGN_ALIGNMENT_H_

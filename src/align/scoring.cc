@@ -1,0 +1,32 @@
+#include "align/scoring.h"
+
+#include "alphabet/nucleotide.h"
+
+namespace cafe {
+
+int ScoringScheme::Score(char a, char b) const {
+  if (a == b && IsBase(a)) return match;
+  if (iupac_aware && (IsWildcard(a) || IsWildcard(b))) {
+    return IupacCompatible(a, b) ? wildcard_score : mismatch;
+  }
+  return a == b ? match : mismatch;
+}
+
+Status ScoringScheme::Validate() const {
+  if (match <= 0) {
+    return Status::InvalidArgument("match score must be positive");
+  }
+  if (mismatch >= 0) {
+    return Status::InvalidArgument("mismatch score must be negative");
+  }
+  if (gap_open >= 0 || gap_extend >= 0) {
+    return Status::InvalidArgument("gap penalties must be negative");
+  }
+  if (gap_extend < gap_open) {
+    return Status::InvalidArgument(
+        "gap_extend must not be more negative than gap_open");
+  }
+  return Status::OK();
+}
+
+}  // namespace cafe

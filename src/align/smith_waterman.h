@@ -1,0 +1,83 @@
+// Local alignment (Smith-Waterman with Gotoh affine gaps).
+//
+// Aligner bundles a scoring scheme with a precomputed 256x256 pair-score
+// table so the O(mn) inner loops are pure table lookups. One Aligner is
+// built per search engine and reused across every candidate sequence.
+//
+// Not thread-safe: DP scratch buffers are reused across calls.
+
+#ifndef CAFE_ALIGN_SMITH_WATERMAN_H_
+#define CAFE_ALIGN_SMITH_WATERMAN_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "align/alignment.h"
+#include "align/scoring.h"
+#include "util/status.h"
+
+namespace cafe {
+
+/// Dense pairwise score lookup built from a ScoringScheme.
+class PairScoreTable {
+ public:
+  explicit PairScoreTable(const ScoringScheme& scheme);
+
+  int operator()(char a, char b) const {
+    return table_[static_cast<uint8_t>(a)][static_cast<uint8_t>(b)];
+  }
+
+  const int16_t* Row(char a) const {
+    return table_[static_cast<uint8_t>(a)].data();
+  }
+
+ private:
+  std::array<std::array<int16_t, 256>, 256> table_;
+};
+
+class Aligner {
+ public:
+  explicit Aligner(const ScoringScheme& scheme = ScoringScheme());
+
+  const ScoringScheme& scheme() const { return scheme_; }
+
+  /// Best local alignment score; linear space, O(|q|*|t|) time.
+  int ScoreOnly(std::string_view query, std::string_view target) const;
+
+  /// Best local alignment with traceback. Fails with InvalidArgument when
+  /// the DP matrix would exceed `max_cells` (one byte per cell).
+  Result<LocalAlignment> Align(std::string_view query,
+                               std::string_view target,
+                               uint64_t max_cells = uint64_t{1} << 26) const;
+
+  /// Banded local alignment score. The band is centred on diagonal
+  /// `diagonal` (= target position - query position) with half-width
+  /// `band`: only cells with |(j - i) - diagonal| <= band are computed.
+  /// This is the fine-search workhorse — candidates arrive from the
+  /// coarse phase with a known hit diagonal.
+  int BandedScore(std::string_view query, std::string_view target,
+                  int64_t diagonal, int band) const;
+
+  /// Banded local alignment with traceback.
+  Result<LocalAlignment> BandedAlign(std::string_view query,
+                                     std::string_view target,
+                                     int64_t diagonal, int band) const;
+
+  /// DP cells computed since construction (performance accounting for the
+  /// experiments).
+  uint64_t cells_computed() const { return cells_; }
+  void ResetCellCount() { cells_ = 0; }
+
+ private:
+  ScoringScheme scheme_;
+  PairScoreTable table_;
+  mutable uint64_t cells_ = 0;
+  mutable std::vector<int32_t> h_buf_;
+  mutable std::vector<int32_t> f_buf_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_ALIGN_SMITH_WATERMAN_H_

@@ -1,0 +1,73 @@
+#include "align/xdrop.h"
+
+namespace cafe {
+
+UngappedSegment XDropExtend(std::string_view query, std::string_view target,
+                            uint32_t q_pos, uint32_t t_pos,
+                            uint32_t seed_len, const PairScoreTable& table,
+                            int xdrop) {
+  // Score the seed itself.
+  int score = 0;
+  for (uint32_t k = 0; k < seed_len; ++k) {
+    score += table(query[q_pos + k], target[t_pos + k]);
+  }
+
+  UngappedSegment seg;
+  seg.query_begin = q_pos;
+  seg.query_end = q_pos + seed_len;
+  seg.target_begin = t_pos;
+  seg.target_end = t_pos + seed_len;
+
+  // Left arm.
+  {
+    int run = score;
+    int best = score;
+    uint32_t qi = q_pos;
+    uint32_t ti = t_pos;
+    uint32_t best_q = q_pos, best_t = t_pos;
+    while (qi > 0 && ti > 0) {
+      --qi;
+      --ti;
+      run += table(query[qi], target[ti]);
+      if (run > best) {
+        best = run;
+        best_q = qi;
+        best_t = ti;
+      } else if (run < best - xdrop) {
+        break;
+      }
+    }
+    score = best;
+    seg.query_begin = best_q;
+    seg.target_begin = best_t;
+  }
+
+  // Right arm.
+  {
+    int run = score;
+    int best = score;
+    uint32_t qi = q_pos + seed_len;
+    uint32_t ti = t_pos + seed_len;
+    uint32_t best_q = qi, best_t = ti;
+    while (qi < query.size() && ti < target.size()) {
+      run += table(query[qi], target[ti]);
+      ++qi;
+      ++ti;
+      if (run > best) {
+        best = run;
+        best_q = qi;
+        best_t = ti;
+      } else if (run < best - xdrop) {
+        break;
+      }
+    }
+    score = best;
+    seg.query_end = best_q;
+    seg.target_end = best_t;
+  }
+
+  seg.score = score;
+  return seg;
+}
+
+}  // namespace cafe

@@ -1,0 +1,39 @@
+// Ungapped X-drop extension (the BLAST hit-extension primitive).
+//
+// Starting from a seed match, extend left and right along the diagonal,
+// accumulating substitution scores; an arm stops once its running score
+// falls `xdrop` below the best seen. Used by the BLAST-like baseline
+// engine and available as a cheap pre-filter before banded alignment.
+
+#ifndef CAFE_ALIGN_XDROP_H_
+#define CAFE_ALIGN_XDROP_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "align/smith_waterman.h"
+
+namespace cafe {
+
+/// An ungapped alignment segment (one diagonal).
+struct UngappedSegment {
+  int score = 0;
+  uint32_t query_begin = 0;
+  uint32_t query_end = 0;  // half-open
+  uint32_t target_begin = 0;
+  uint32_t target_end = 0;
+
+  uint32_t Length() const { return query_end - query_begin; }
+};
+
+/// Extends the seed query[q_pos, q_pos+seed_len) == target[t_pos, ...)
+/// in both directions. `table` supplies substitution scores; `xdrop` is
+/// the (positive) drop-off threshold.
+UngappedSegment XDropExtend(std::string_view query, std::string_view target,
+                            uint32_t q_pos, uint32_t t_pos,
+                            uint32_t seed_len, const PairScoreTable& table,
+                            int xdrop);
+
+}  // namespace cafe
+
+#endif  // CAFE_ALIGN_XDROP_H_

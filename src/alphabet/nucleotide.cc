@@ -1,0 +1,145 @@
+#include "alphabet/nucleotide.h"
+
+#include <array>
+#include <cctype>
+
+namespace cafe {
+namespace {
+
+// 4-bit masks: A=1, C=2, G=4, T=8.
+constexpr uint8_t kA = 1, kC = 2, kG = 4, kT = 8;
+
+struct Tables {
+  std::array<int8_t, 256> base_code;
+  std::array<uint8_t, 256> iupac_mask;
+  std::array<char, 16> mask_to_char;
+
+  constexpr Tables() : base_code(), iupac_mask(), mask_to_char() {
+    for (auto& v : base_code) v = -1;
+    for (auto& v : iupac_mask) v = 0;
+    for (auto& v : mask_to_char) v = '?';
+
+    auto set = [&](char upper, int code, uint8_t mask) {
+      base_code[static_cast<unsigned char>(upper)] = static_cast<int8_t>(code);
+      base_code[static_cast<unsigned char>(upper - 'A' + 'a')] =
+          static_cast<int8_t>(code);
+      iupac_mask[static_cast<unsigned char>(upper)] = mask;
+      iupac_mask[static_cast<unsigned char>(upper - 'A' + 'a')] = mask;
+    };
+
+    set('A', 0, kA);
+    set('C', 1, kC);
+    set('G', 2, kG);
+    set('T', 3, kT);
+    set('U', 3, kT);  // RNA uracil is stored as T
+
+    auto amb = [&](char upper, uint8_t mask) { set(upper, -1, mask); };
+    amb('R', kA | kG);
+    amb('Y', kC | kT);
+    amb('S', kC | kG);
+    amb('W', kA | kT);
+    amb('K', kG | kT);
+    amb('M', kA | kC);
+    amb('B', kC | kG | kT);
+    amb('D', kA | kG | kT);
+    amb('H', kA | kC | kT);
+    amb('V', kA | kC | kG);
+    amb('N', kA | kC | kG | kT);
+
+    // U shares T's code but should keep code 3 despite the -1 from amb();
+    // re-assert the unambiguous entries after the ambiguity loop.
+    base_code[static_cast<unsigned char>('A')] = 0;
+    base_code[static_cast<unsigned char>('a')] = 0;
+    base_code[static_cast<unsigned char>('C')] = 1;
+    base_code[static_cast<unsigned char>('c')] = 1;
+    base_code[static_cast<unsigned char>('G')] = 2;
+    base_code[static_cast<unsigned char>('g')] = 2;
+    base_code[static_cast<unsigned char>('T')] = 3;
+    base_code[static_cast<unsigned char>('t')] = 3;
+    base_code[static_cast<unsigned char>('U')] = 3;
+    base_code[static_cast<unsigned char>('u')] = 3;
+
+    mask_to_char[kA] = 'A';
+    mask_to_char[kC] = 'C';
+    mask_to_char[kG] = 'G';
+    mask_to_char[kT] = 'T';
+    mask_to_char[kA | kG] = 'R';
+    mask_to_char[kC | kT] = 'Y';
+    mask_to_char[kC | kG] = 'S';
+    mask_to_char[kA | kT] = 'W';
+    mask_to_char[kG | kT] = 'K';
+    mask_to_char[kA | kC] = 'M';
+    mask_to_char[kC | kG | kT] = 'B';
+    mask_to_char[kA | kG | kT] = 'D';
+    mask_to_char[kA | kC | kT] = 'H';
+    mask_to_char[kA | kC | kG] = 'V';
+    mask_to_char[kA | kC | kG | kT] = 'N';
+  }
+};
+
+constexpr Tables kTables;
+
+}  // namespace
+
+int BaseToCode(char c) {
+  return kTables.base_code[static_cast<unsigned char>(c)];
+}
+
+char CodeToBase(int code) { return kBases[code & 3]; }
+
+bool IsBase(char c) { return BaseToCode(c) >= 0; }
+
+bool IsIupac(char c) {
+  return kTables.iupac_mask[static_cast<unsigned char>(c)] != 0;
+}
+
+bool IsWildcard(char c) { return IsIupac(c) && !IsBase(c); }
+
+uint8_t IupacMask(char c) {
+  return kTables.iupac_mask[static_cast<unsigned char>(c)];
+}
+
+char MaskToIupac(uint8_t mask) { return kTables.mask_to_char[mask & 0xF]; }
+
+bool IupacCompatible(char a, char b) {
+  return (IupacMask(a) & IupacMask(b)) != 0;
+}
+
+char Complement(char c) {
+  uint8_t mask = IupacMask(c);
+  if (mask == 0) return c;
+  // Complement swaps A<->T (bits 1<->8) and C<->G (bits 2<->4): reverse the
+  // 4-bit mask.
+  uint8_t rev = static_cast<uint8_t>(((mask & 1) << 3) | ((mask & 2) << 1) |
+                                     ((mask & 4) >> 1) | ((mask & 8) >> 3));
+  return MaskToIupac(rev);
+}
+
+std::string ReverseComplement(std::string_view seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (size_t i = seq.size(); i > 0; --i) {
+    out.push_back(Complement(seq[i - 1]));
+  }
+  return out;
+}
+
+bool IsValidSequence(std::string_view seq) {
+  for (char c : seq) {
+    if (!IsIupac(c)) return false;
+  }
+  return true;
+}
+
+std::string NormalizeSequence(std::string_view seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (char c : seq) {
+    char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (u == 'U') u = 'T';
+    out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace cafe

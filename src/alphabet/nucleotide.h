@@ -1,0 +1,68 @@
+// The nucleotide alphabet: 2-bit codes for the four bases plus the full
+// IUPAC ambiguity ("wildcard") alphabet that appears in real GenBank
+// entries and which the direct-coded sequence store must preserve
+// losslessly.
+//
+// Two encodings are used throughout the library:
+//  * base code   — 2 bits, A=0 C=1 G=2 T=3; only for unambiguous bases.
+//                  This is what the interval index and aligners consume.
+//  * IUPAC mask  — 4 bits, one bit per base (A=1, C=2, G=4, T=8); every
+//                  IUPAC letter maps to the set of bases it denotes
+//                  (e.g. R = A|G, N = ACGT).
+
+#ifndef CAFE_ALPHABET_NUCLEOTIDE_H_
+#define CAFE_ALPHABET_NUCLEOTIDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cafe {
+
+inline constexpr int kNumBases = 4;
+inline constexpr char kBases[kNumBases] = {'A', 'C', 'G', 'T'};
+
+/// Code for an unambiguous base; 0..3. Returns -1 for anything else
+/// (including IUPAC wildcards). Accepts lower case; 'U' maps to T.
+int BaseToCode(char c);
+
+/// Inverse of BaseToCode. `code` must be in [0, 4).
+char CodeToBase(int code);
+
+/// True for A/C/G/T (either case, or U).
+bool IsBase(char c);
+
+/// True for any IUPAC nucleotide letter, wildcard or not (either case).
+bool IsIupac(char c);
+
+/// True for IUPAC letters that are ambiguous (not A/C/G/T/U).
+bool IsWildcard(char c);
+
+/// 4-bit base-set mask for an IUPAC letter; 0 for non-IUPAC characters.
+uint8_t IupacMask(char c);
+
+/// Canonical (upper-case) IUPAC letter for a non-zero 4-bit mask.
+char MaskToIupac(uint8_t mask);
+
+/// True if two IUPAC letters can denote a common base
+/// (mask intersection non-empty). This is the wildcard-aware match rule
+/// used by the IUPAC-aware scoring scheme.
+bool IupacCompatible(char a, char b);
+
+/// Watson-Crick complement of an IUPAC letter (complement of the mask);
+/// returns the input unchanged for non-IUPAC characters.
+char Complement(char c);
+
+/// Reverse complement of a sequence.
+std::string ReverseComplement(std::string_view seq);
+
+/// True if every character of `seq` is an IUPAC letter.
+bool IsValidSequence(std::string_view seq);
+
+/// Upper-cases and maps U->T; non-IUPAC characters are left untouched
+/// (validation is a separate concern, see IsValidSequence).
+std::string NormalizeSequence(std::string_view seq);
+
+}  // namespace cafe
+
+#endif  // CAFE_ALPHABET_NUCLEOTIDE_H_

@@ -1,0 +1,25 @@
+#include "coding/binary.h"
+
+#include <cassert>
+
+namespace cafe::coding {
+
+void EncodeFixed(BitWriter* w, uint64_t v, int width) {
+  assert(v >= 1);
+  assert(width == 64 || (v - 1) < (uint64_t{1} << width));
+  w->WriteBits(v - 1, width);
+}
+
+uint64_t DecodeFixed(BitReader* r, int width) {
+  return r->ReadBits(width) + 1;
+}
+
+int FixedWidthFor(uint64_t max_value) {
+  assert(max_value >= 1);
+  uint64_t span = max_value - 1;
+  int width = 1;
+  while (width < 64 && (span >> width) != 0) ++width;
+  return width;
+}
+
+}  // namespace cafe::coding

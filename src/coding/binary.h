@@ -1,0 +1,25 @@
+// Fixed-width binary codes: the uncompressed control in the compression
+// experiments, plus minimal binary (log-ceiling width) used by the
+// truncated codes and the index dictionary.
+
+#ifndef CAFE_CODING_BINARY_H_
+#define CAFE_CODING_BINARY_H_
+
+#include <cstdint>
+
+#include "util/bitio.h"
+
+namespace cafe::coding {
+
+/// Encodes v >= 1 in `width` bits (v-1 is stored). v-1 must fit.
+void EncodeFixed(BitWriter* w, uint64_t v, int width);
+
+/// Decodes one fixed-width value.
+uint64_t DecodeFixed(BitReader* r, int width);
+
+/// Smallest width that can hold any value in [1, max_value].
+int FixedWidthFor(uint64_t max_value);
+
+}  // namespace cafe::coding
+
+#endif  // CAFE_CODING_BINARY_H_

@@ -1,0 +1,216 @@
+#include "coding/codec.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "coding/binary.h"
+#include "coding/elias.h"
+#include "coding/golomb.h"
+#include "coding/interpolative.h"
+#include "coding/unary.h"
+#include "coding/vbyte.h"
+
+namespace cafe::coding {
+namespace {
+
+class UnaryCodec final : public IntegerCodec {
+ public:
+  std::string name() const override { return "unary"; }
+  CodecId id() const override { return CodecId::kUnary; }
+  void Encode(const std::vector<uint64_t>& values,
+              BitWriter* w) const override {
+    for (uint64_t v : values) EncodeUnary(w, v);
+  }
+  void Decode(BitReader* r, size_t count,
+              std::vector<uint64_t>* out) const override {
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) (*out)[i] = DecodeUnary(r);
+  }
+};
+
+class GammaCodec final : public IntegerCodec {
+ public:
+  std::string name() const override { return "gamma"; }
+  CodecId id() const override { return CodecId::kGamma; }
+  void Encode(const std::vector<uint64_t>& values,
+              BitWriter* w) const override {
+    for (uint64_t v : values) EncodeGamma(w, v);
+  }
+  void Decode(BitReader* r, size_t count,
+              std::vector<uint64_t>* out) const override {
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) (*out)[i] = DecodeGamma(r);
+  }
+};
+
+class DeltaCodec final : public IntegerCodec {
+ public:
+  std::string name() const override { return "delta"; }
+  CodecId id() const override { return CodecId::kDelta; }
+  void Encode(const std::vector<uint64_t>& values,
+              BitWriter* w) const override {
+    for (uint64_t v : values) EncodeDelta(w, v);
+  }
+  void Decode(BitReader* r, size_t count,
+              std::vector<uint64_t>* out) const override {
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) (*out)[i] = DecodeDelta(r);
+  }
+};
+
+// Parameterised codecs store the parameter in a gamma-coded header so the
+// decoder is self-contained, mirroring how the index stores per-list
+// Golomb parameters.
+class GolombCodec final : public IntegerCodec {
+ public:
+  std::string name() const override { return "golomb"; }
+  CodecId id() const override { return CodecId::kGolomb; }
+  void Encode(const std::vector<uint64_t>& values,
+              BitWriter* w) const override {
+    uint64_t sum = std::accumulate(values.begin(), values.end(), uint64_t{0});
+    uint64_t b = OptimalGolombParameter(values.size(), sum);
+    EncodeGamma(w, b);
+    for (uint64_t v : values) EncodeGolomb(w, v, b);
+  }
+  void Decode(BitReader* r, size_t count,
+              std::vector<uint64_t>* out) const override {
+    uint64_t b = DecodeGamma(r);
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) (*out)[i] = DecodeGolomb(r, b);
+  }
+};
+
+class RiceCodec final : public IntegerCodec {
+ public:
+  std::string name() const override { return "rice"; }
+  CodecId id() const override { return CodecId::kRice; }
+  void Encode(const std::vector<uint64_t>& values,
+              BitWriter* w) const override {
+    uint64_t sum = std::accumulate(values.begin(), values.end(), uint64_t{0});
+    int k = OptimalRiceParameter(values.size(), sum);
+    EncodeGamma(w, static_cast<uint64_t>(k) + 1);
+    for (uint64_t v : values) EncodeRice(w, v, k);
+  }
+  void Decode(BitReader* r, size_t count,
+              std::vector<uint64_t>* out) const override {
+    int k = static_cast<int>(DecodeGamma(r) - 1);
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) (*out)[i] = DecodeRice(r, k);
+  }
+};
+
+class VByteCodec final : public IntegerCodec {
+ public:
+  std::string name() const override { return "vbyte"; }
+  CodecId id() const override { return CodecId::kVByte; }
+  void Encode(const std::vector<uint64_t>& values,
+              BitWriter* w) const override {
+    for (uint64_t v : values) EncodeVByte(w, v);
+  }
+  void Decode(BitReader* r, size_t count,
+              std::vector<uint64_t>* out) const override {
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) (*out)[i] = DecodeVByte(r);
+  }
+};
+
+class Fixed32Codec final : public IntegerCodec {
+ public:
+  std::string name() const override { return "fixed32"; }
+  CodecId id() const override { return CodecId::kFixed32; }
+  void Encode(const std::vector<uint64_t>& values,
+              BitWriter* w) const override {
+    for (uint64_t v : values) EncodeFixed(w, v, 32);
+  }
+  void Decode(BitReader* r, size_t count,
+              std::vector<uint64_t>* out) const override {
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) (*out)[i] = DecodeFixed(r, 32);
+  }
+};
+
+// Gap codec over interpolative coding: gaps are prefix-summed into a
+// strictly increasing sequence, the universe (= total) is stored in a
+// gamma header, and the cumulative values are interpolatively coded.
+class InterpolativeCodec final : public IntegerCodec {
+ public:
+  std::string name() const override { return "interp"; }
+  CodecId id() const override { return CodecId::kInterpolative; }
+  void Encode(const std::vector<uint64_t>& values,
+              BitWriter* w) const override {
+    std::vector<uint64_t> sums(values.size());
+    uint64_t run = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      run += values[i];
+      sums[i] = run;
+    }
+    EncodeGamma(w, run + 1);
+    EncodeInterpolative(sums, run, w);
+  }
+  void Decode(BitReader* r, size_t count,
+              std::vector<uint64_t>* out) const override {
+    uint64_t universe = DecodeGamma(r) - 1;
+    std::vector<uint64_t> sums;
+    DecodeInterpolative(r, count, universe, &sums);
+    out->resize(count);
+    uint64_t prev = 0;
+    for (size_t i = 0; i < count; ++i) {
+      (*out)[i] = sums[i] - prev;
+      prev = sums[i];
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IntegerCodec> CreateCodec(CodecId id) {
+  switch (id) {
+    case CodecId::kUnary:
+      return std::make_unique<UnaryCodec>();
+    case CodecId::kGamma:
+      return std::make_unique<GammaCodec>();
+    case CodecId::kDelta:
+      return std::make_unique<DeltaCodec>();
+    case CodecId::kGolomb:
+      return std::make_unique<GolombCodec>();
+    case CodecId::kRice:
+      return std::make_unique<RiceCodec>();
+    case CodecId::kVByte:
+      return std::make_unique<VByteCodec>();
+    case CodecId::kFixed32:
+      return std::make_unique<Fixed32Codec>();
+    case CodecId::kInterpolative:
+      return std::make_unique<InterpolativeCodec>();
+  }
+  return nullptr;
+}
+
+std::vector<CodecId> AllCodecIds() {
+  return {CodecId::kUnary,   CodecId::kGamma, CodecId::kDelta,
+          CodecId::kGolomb,  CodecId::kRice,  CodecId::kVByte,
+          CodecId::kFixed32, CodecId::kInterpolative};
+}
+
+const char* CodecIdName(CodecId id) {
+  switch (id) {
+    case CodecId::kUnary:
+      return "unary";
+    case CodecId::kGamma:
+      return "gamma";
+    case CodecId::kDelta:
+      return "delta";
+    case CodecId::kGolomb:
+      return "golomb";
+    case CodecId::kRice:
+      return "rice";
+    case CodecId::kVByte:
+      return "vbyte";
+    case CodecId::kFixed32:
+      return "fixed32";
+    case CodecId::kInterpolative:
+      return "interp";
+  }
+  return "?";
+}
+
+}  // namespace cafe::coding

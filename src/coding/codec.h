@@ -1,0 +1,60 @@
+// A uniform interface over the integer codes, for the compression
+// comparison experiment (E2) and the parameterised round-trip tests.
+//
+// Parameterised codecs (Golomb, Rice) derive their parameter from the
+// sequence statistics at encode time and store it in a small header, the
+// way the index stores a per-list parameter.
+
+#ifndef CAFE_CODING_CODEC_H_
+#define CAFE_CODING_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/status.h"
+
+namespace cafe::coding {
+
+enum class CodecId {
+  kUnary,
+  kGamma,
+  kDelta,
+  kGolomb,
+  kRice,
+  kVByte,
+  kFixed32,
+  kInterpolative,
+};
+
+/// Encodes/decodes arrays of positive integers.
+class IntegerCodec {
+ public:
+  virtual ~IntegerCodec() = default;
+
+  virtual std::string name() const = 0;
+  virtual CodecId id() const = 0;
+
+  /// Appends an encoding of `values` (all >= 1). May write a parameter
+  /// header. The block is self-delimiting given the count.
+  virtual void Encode(const std::vector<uint64_t>& values,
+                      BitWriter* w) const = 0;
+
+  /// Decodes `count` values previously written by Encode.
+  virtual void Decode(BitReader* r, size_t count,
+                      std::vector<uint64_t>* out) const = 0;
+};
+
+/// Factory. All codecs are stateless and cheap to construct.
+std::unique_ptr<IntegerCodec> CreateCodec(CodecId id);
+
+/// Every codec id, for parameterised sweeps.
+std::vector<CodecId> AllCodecIds();
+
+const char* CodecIdName(CodecId id);
+
+}  // namespace cafe::coding
+
+#endif  // CAFE_CODING_CODEC_H_

@@ -1,0 +1,53 @@
+#include "coding/elias.h"
+
+#include <cassert>
+
+namespace cafe::coding {
+namespace {
+
+inline int FloorLog2(uint64_t v) {
+  return 63 - __builtin_clzll(v);
+}
+
+}  // namespace
+
+void EncodeGamma(BitWriter* w, uint64_t v) {
+  assert(v >= 1);
+  int k = FloorLog2(v);
+  w->WriteUnary(static_cast<uint64_t>(k));  // k zeros then a 1
+  if (k > 0) w->WriteBits(v, k);            // low k bits (drop the leading 1)
+}
+
+uint64_t DecodeGamma(BitReader* r) {
+  uint64_t k = r->ReadUnary();
+  if (k >= 64) return 1;  // overflowed / corrupt; caller checks r->overflowed()
+  uint64_t low = k > 0 ? r->ReadBits(static_cast<int>(k)) : 0;
+  return (uint64_t{1} << k) | low;
+}
+
+uint64_t GammaBits(uint64_t v) {
+  assert(v >= 1);
+  return 2 * static_cast<uint64_t>(FloorLog2(v)) + 1;
+}
+
+void EncodeDelta(BitWriter* w, uint64_t v) {
+  assert(v >= 1);
+  int k = FloorLog2(v);
+  EncodeGamma(w, static_cast<uint64_t>(k) + 1);
+  if (k > 0) w->WriteBits(v, k);
+}
+
+uint64_t DecodeDelta(BitReader* r) {
+  uint64_t k = DecodeGamma(r) - 1;
+  if (k >= 64) return 1;
+  uint64_t low = k > 0 ? r->ReadBits(static_cast<int>(k)) : 0;
+  return (uint64_t{1} << k) | low;
+}
+
+uint64_t DeltaBits(uint64_t v) {
+  assert(v >= 1);
+  uint64_t k = static_cast<uint64_t>(FloorLog2(v));
+  return GammaBits(k + 1) + k;
+}
+
+}  // namespace cafe::coding

@@ -1,0 +1,43 @@
+// Elias gamma and delta codes for positive integers (Elias, 1975).
+//
+// gamma(v): unary code for 1 + floor(log2 v), then the low floor(log2 v)
+// bits of v. Costs 2*floor(log2 v) + 1 bits; ideal for small values such
+// as within-sequence occurrence counts.
+//
+// delta(v): gamma code for 1 + floor(log2 v), then the low bits. Costs
+// O(log v + 2 log log v); better than gamma for larger magnitudes.
+//
+// Both are non-parameterised, so they need no side information — the
+// property the paper exploits when mixing them with parameterised Golomb
+// codes inside one postings list.
+
+#ifndef CAFE_CODING_ELIAS_H_
+#define CAFE_CODING_ELIAS_H_
+
+#include <cstdint>
+
+#include "util/bitio.h"
+
+namespace cafe::coding {
+
+/// Encodes v >= 1 with the Elias gamma code.
+void EncodeGamma(BitWriter* w, uint64_t v);
+
+/// Decodes one gamma-coded value.
+uint64_t DecodeGamma(BitReader* r);
+
+/// Bits EncodeGamma emits for v.
+uint64_t GammaBits(uint64_t v);
+
+/// Encodes v >= 1 with the Elias delta code.
+void EncodeDelta(BitWriter* w, uint64_t v);
+
+/// Decodes one delta-coded value.
+uint64_t DecodeDelta(BitReader* r);
+
+/// Bits EncodeDelta emits for v.
+uint64_t DeltaBits(uint64_t v);
+
+}  // namespace cafe::coding
+
+#endif  // CAFE_CODING_ELIAS_H_

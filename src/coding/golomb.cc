@@ -1,0 +1,92 @@
+#include "coding/golomb.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cafe::coding {
+namespace {
+
+inline int CeilLog2(uint64_t v) {
+  if (v <= 1) return 0;
+  return 64 - __builtin_clzll(v - 1);
+}
+
+}  // namespace
+
+void EncodeGolomb(BitWriter* w, uint64_t v, uint64_t b) {
+  assert(v >= 1 && b >= 1);
+  uint64_t x = v - 1;
+  uint64_t q = x / b;
+  uint64_t rem = x % b;
+  w->WriteUnary(q);
+  if (b == 1) return;
+  // Truncated binary for rem in [0, b): values below `cut` take
+  // `bits-1` bits, the rest take `bits` bits with an offset.
+  int bits = CeilLog2(b);
+  uint64_t cut = (uint64_t{1} << bits) - b;
+  if (rem < cut) {
+    w->WriteBits(rem, bits - 1);
+  } else {
+    w->WriteBits(rem + cut, bits);
+  }
+}
+
+uint64_t DecodeGolomb(BitReader* r, uint64_t b) {
+  assert(b >= 1);
+  uint64_t q = r->ReadUnary();
+  if (b == 1) return q + 1;
+  int bits = CeilLog2(b);
+  uint64_t cut = (uint64_t{1} << bits) - b;
+  uint64_t rem = r->ReadBits(bits - 1);
+  if (rem >= cut) {
+    rem = (rem << 1) | r->ReadBits(1);
+    rem -= cut;
+  }
+  return q * b + rem + 1;
+}
+
+uint64_t GolombBits(uint64_t v, uint64_t b) {
+  assert(v >= 1 && b >= 1);
+  uint64_t x = v - 1;
+  uint64_t q = x / b;
+  if (b == 1) return q + 1;
+  uint64_t rem = x % b;
+  int bits = CeilLog2(b);
+  uint64_t cut = (uint64_t{1} << bits) - b;
+  return q + 1 + static_cast<uint64_t>(rem < cut ? bits - 1 : bits);
+}
+
+uint64_t OptimalGolombParameter(uint64_t occurrences, uint64_t universe) {
+  if (occurrences == 0 || universe == 0) return 1;
+  double mean = static_cast<double>(universe) /
+                static_cast<double>(occurrences);
+  uint64_t b = static_cast<uint64_t>(std::llround(0.69314718055994531 * mean));
+  return b < 1 ? 1 : b;
+}
+
+void EncodeRice(BitWriter* w, uint64_t v, int k) {
+  assert(v >= 1 && k >= 0 && k < 63);
+  uint64_t x = v - 1;
+  w->WriteUnary(x >> k);
+  if (k > 0) w->WriteBits(x, k);
+}
+
+uint64_t DecodeRice(BitReader* r, int k) {
+  uint64_t q = r->ReadUnary();
+  uint64_t low = k > 0 ? r->ReadBits(k) : 0;
+  return (q << k) + low + 1;
+}
+
+uint64_t RiceBits(uint64_t v, int k) {
+  assert(v >= 1);
+  return ((v - 1) >> k) + 1 + static_cast<uint64_t>(k);
+}
+
+int OptimalRiceParameter(uint64_t occurrences, uint64_t universe) {
+  uint64_t b = OptimalGolombParameter(occurrences, universe);
+  int k = 0;
+  while ((uint64_t{1} << (k + 1)) <= b) ++k;
+  return k;
+}
+
+}  // namespace cafe::coding

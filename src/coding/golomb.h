@@ -1,0 +1,45 @@
+// Golomb codes (Golomb, 1966) for positive integers, with the Rice
+// power-of-two special case.
+//
+// Golomb coding with parameter b splits v-1 into quotient q = (v-1)/b
+// (unary) and remainder r = (v-1) mod b (truncated binary). For postings
+// d-gaps drawn from a geometric distribution — which is what uniform term
+// occurrences over a collection produce — the choice
+//     b ≈ 0.69 * (universe / occurrences)
+// is within a fraction of a bit of the entropy (Gallager & Van Voorhis).
+// This is the workhorse code for the paper's compressed inverted index.
+
+#ifndef CAFE_CODING_GOLOMB_H_
+#define CAFE_CODING_GOLOMB_H_
+
+#include <cstdint>
+
+#include "util/bitio.h"
+
+namespace cafe::coding {
+
+/// Encodes v >= 1 with Golomb parameter b >= 1.
+void EncodeGolomb(BitWriter* w, uint64_t v, uint64_t b);
+
+/// Decodes one Golomb-coded value with parameter b.
+uint64_t DecodeGolomb(BitReader* r, uint64_t b);
+
+/// Bits EncodeGolomb emits for v with parameter b.
+uint64_t GolombBits(uint64_t v, uint64_t b);
+
+/// The near-optimal parameter for n occurrences spread over a universe of
+/// size `universe` (mean gap universe/n): b = max(1, round(ln2 * mean)).
+uint64_t OptimalGolombParameter(uint64_t occurrences, uint64_t universe);
+
+/// Rice code: Golomb restricted to b = 2^k; cheaper decode (no truncated
+/// binary branch).
+void EncodeRice(BitWriter* w, uint64_t v, int k);
+uint64_t DecodeRice(BitReader* r, int k);
+uint64_t RiceBits(uint64_t v, int k);
+
+/// Rice parameter k approximating the optimal Golomb parameter.
+int OptimalRiceParameter(uint64_t occurrences, uint64_t universe);
+
+}  // namespace cafe::coding
+
+#endif  // CAFE_CODING_GOLOMB_H_

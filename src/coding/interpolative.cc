@@ -1,0 +1,83 @@
+#include "coding/interpolative.h"
+
+#include <cassert>
+
+namespace cafe::coding {
+namespace {
+
+// Minimal binary ("truncated binary") code for v in [0, n): values below
+// the cut take floor(log2 n) bits, the rest take ceil(log2 n).
+void WriteMinimalBinary(BitWriter* w, uint64_t v, uint64_t n) {
+  assert(n >= 1 && v < n);
+  if (n == 1) return;  // zero bits: the value is forced
+  int bits = 64 - __builtin_clzll(n - 1);  // ceil(log2 n)
+  uint64_t cut = (uint64_t{1} << bits) - n;
+  if (v < cut) {
+    w->WriteBits(v, bits - 1);
+  } else {
+    w->WriteBits(v + cut, bits);
+  }
+}
+
+uint64_t ReadMinimalBinary(BitReader* r, uint64_t n) {
+  assert(n >= 1);
+  if (n == 1) return 0;
+  int bits = 64 - __builtin_clzll(n - 1);
+  uint64_t cut = (uint64_t{1} << bits) - n;
+  uint64_t v = r->ReadBits(bits - 1);
+  if (v >= cut) {
+    v = (v << 1) | r->ReadBits(1);
+    v -= cut;
+  }
+  return v;
+}
+
+void EncodeRange(const uint64_t* s, int64_t l, int64_t r, uint64_t lo,
+                 uint64_t hi, BitWriter* w) {
+  if (l > r) return;
+  int64_t mid = l + (r - l) / 2;
+  // With (mid - l) predecessors and (r - mid) successors inside
+  // [lo, hi], s[mid] is confined to [lo + (mid-l), hi - (r-mid)].
+  uint64_t vlo = lo + static_cast<uint64_t>(mid - l);
+  uint64_t vhi = hi - static_cast<uint64_t>(r - mid);
+  assert(s[mid] >= vlo && s[mid] <= vhi);
+  WriteMinimalBinary(w, s[mid] - vlo, vhi - vlo + 1);
+  EncodeRange(s, l, mid - 1, lo, s[mid] - 1, w);
+  EncodeRange(s, mid + 1, r, s[mid] + 1, hi, w);
+}
+
+void DecodeRange(uint64_t* s, int64_t l, int64_t r, uint64_t lo,
+                 uint64_t hi, BitReader* reader) {
+  if (l > r) return;
+  int64_t mid = l + (r - l) / 2;
+  uint64_t vlo = lo + static_cast<uint64_t>(mid - l);
+  uint64_t vhi = hi - static_cast<uint64_t>(r - mid);
+  s[mid] = vlo + ReadMinimalBinary(reader, vhi - vlo + 1);
+  DecodeRange(s, l, mid - 1, lo, s[mid] - 1, reader);
+  DecodeRange(s, mid + 1, r, s[mid] + 1, hi, reader);
+}
+
+}  // namespace
+
+void EncodeInterpolative(const std::vector<uint64_t>& values,
+                         uint64_t universe, BitWriter* w) {
+  if (values.empty()) return;
+  assert(values.front() >= 1 && values.back() <= universe);
+  EncodeRange(values.data(), 0, static_cast<int64_t>(values.size()) - 1, 1,
+              universe, w);
+}
+
+void DecodeInterpolative(BitReader* r, size_t count, uint64_t universe,
+                         std::vector<uint64_t>* out) {
+  out->resize(count);
+  if (count == 0) return;
+  DecodeRange(out->data(), 0, static_cast<int64_t>(count) - 1, 1, universe,
+              r);
+}
+
+int MinimalBinaryBits(uint64_t range_size) {
+  if (range_size <= 1) return 0;
+  return 64 - __builtin_clzll(range_size - 1);
+}
+
+}  // namespace cafe::coding

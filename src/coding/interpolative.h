@@ -1,0 +1,36 @@
+// Binary interpolative coding (Moffat & Stuiver) for sorted postings.
+//
+// Instead of coding gaps independently, the cumulative positions are
+// coded recursively: the middle element is written in minimal binary
+// within the range its neighbours permit, then each half is coded within
+// the narrowed range. Clustered lists — exactly what interval postings
+// look like when a homologous region concentrates occurrences — compress
+// below the gap-entropy bound that gap codes are limited by.
+
+#ifndef CAFE_CODING_INTERPOLATIVE_H_
+#define CAFE_CODING_INTERPOLATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitio.h"
+
+namespace cafe::coding {
+
+/// Encodes strictly increasing `values` each in [1, universe]; `universe`
+/// must be >= values.back(). Not self-delimiting: the decoder needs
+/// (count, universe).
+void EncodeInterpolative(const std::vector<uint64_t>& values,
+                         uint64_t universe, BitWriter* w);
+
+/// Decodes `count` strictly increasing values in [1, universe].
+void DecodeInterpolative(BitReader* r, size_t count, uint64_t universe,
+                         std::vector<uint64_t>* out);
+
+/// Bits used for a single minimal-binary value in a range of size
+/// `range_size` (diagnostic helper).
+int MinimalBinaryBits(uint64_t range_size);
+
+}  // namespace cafe::coding
+
+#endif  // CAFE_CODING_INTERPOLATIVE_H_

@@ -1,0 +1,16 @@
+#include "coding/unary.h"
+
+#include <cassert>
+
+namespace cafe::coding {
+
+void EncodeUnary(BitWriter* w, uint64_t v) {
+  assert(v >= 1);
+  w->WriteUnary(v - 1);
+}
+
+uint64_t DecodeUnary(BitReader* r) { return r->ReadUnary() + 1; }
+
+uint64_t UnaryBits(uint64_t v) { return v; }
+
+}  // namespace cafe::coding

@@ -1,0 +1,25 @@
+// Unary code for positive integers: v-1 zero bits then a one bit.
+// The degenerate baseline of the code family; useful for tiny values and
+// as the prefix part of the Elias and Golomb codes.
+
+#ifndef CAFE_CODING_UNARY_H_
+#define CAFE_CODING_UNARY_H_
+
+#include <cstdint>
+
+#include "util/bitio.h"
+
+namespace cafe::coding {
+
+/// Encodes v >= 1.
+void EncodeUnary(BitWriter* w, uint64_t v);
+
+/// Decodes one unary-coded value (>= 1).
+uint64_t DecodeUnary(BitReader* r);
+
+/// Number of bits EncodeUnary will emit for v.
+uint64_t UnaryBits(uint64_t v);
+
+}  // namespace cafe::coding
+
+#endif  // CAFE_CODING_UNARY_H_

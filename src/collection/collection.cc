@@ -1,0 +1,160 @@
+#include "collection/collection.h"
+
+#include <cstring>
+
+#include "coding/vbyte.h"
+#include "util/crc32.h"
+#include "util/env.h"
+
+namespace cafe {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'A', 'F', 'C', 'O', 'L', '1', '\0'};
+
+void AppendString(std::string* out, const std::string& s) {
+  std::vector<uint8_t> len;
+  coding::AppendVByte(&len, s.size() + 1);
+  out->append(reinterpret_cast<const char*>(len.data()), len.size());
+  out->append(s);
+}
+
+Status ReadString(std::string_view data, size_t* pos, std::string* out) {
+  uint64_t len = coding::ReadVByte(
+      reinterpret_cast<const uint8_t*>(data.data()), data.size(), pos);
+  if (len == 0) return Status::Corruption("collection: bad string length");
+  len -= 1;
+  if (*pos + len > data.size()) {
+    return Status::Corruption("collection: truncated string");
+  }
+  out->assign(data.data() + *pos, len);
+  *pos += len;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<uint32_t> SequenceCollection::Add(std::string_view id,
+                                         std::string_view description,
+                                         std::string_view sequence) {
+  if (id.empty()) {
+    return Status::InvalidArgument("empty sequence identifier");
+  }
+  Result<uint32_t> seq_id = store_.Append(sequence);
+  if (!seq_id.ok()) return seq_id.status();
+  names_.emplace_back(id);
+  descriptions_.emplace_back(description);
+  return *seq_id;
+}
+
+Result<SequenceCollection> SequenceCollection::FromFasta(
+    const std::vector<FastaRecord>& records) {
+  SequenceCollection col;
+  for (const FastaRecord& rec : records) {
+    Result<uint32_t> r = col.Add(rec.id, rec.description, rec.sequence);
+    if (!r.ok()) return r.status();
+  }
+  return col;
+}
+
+Status SequenceCollection::GetSequence(uint32_t id, std::string* out) const {
+  return store_.Get(id, out);
+}
+
+const std::string& SequenceCollection::Name(uint32_t id) const {
+  static const std::string kEmpty;
+  return id < names_.size() ? names_[id] : kEmpty;
+}
+
+const std::string& SequenceCollection::Description(uint32_t id) const {
+  static const std::string kEmpty;
+  return id < descriptions_.size() ? descriptions_[id] : kEmpty;
+}
+
+Result<size_t> SequenceCollection::SequenceLength(uint32_t id) const {
+  return store_.Length(id);
+}
+
+uint64_t SequenceCollection::StorageBytes() const {
+  uint64_t names = 0;
+  for (const auto& n : names_) names += n.size();
+  for (const auto& d : descriptions_) names += d.size();
+  return store_.StorageBytes() + names;
+}
+
+void SequenceCollection::Serialize(std::string* out) const {
+  out->clear();
+  out->append(kMagic, 8);
+  std::vector<uint8_t> count;
+  coding::AppendVByte(&count, names_.size() + 1);
+  out->append(reinterpret_cast<const char*>(count.data()), count.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    AppendString(out, names_[i]);
+    AppendString(out, descriptions_[i]);
+  }
+  std::string store_data;
+  store_.Serialize(&store_data);
+  out->append(store_data);
+  uint32_t crc = Crc32(out->data(), out->size());
+  char buf[4];
+  std::memcpy(buf, &crc, 4);
+  out->append(buf, 4);
+}
+
+Result<SequenceCollection> SequenceCollection::Deserialize(
+    std::string_view data) {
+  if (data.size() < 8 + 1 + 4) {
+    return Status::Corruption("collection: too short");
+  }
+  if (std::memcmp(data.data(), kMagic, 8) != 0) {
+    return Status::Corruption("collection: bad magic");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, data.data() + data.size() - 4, 4);
+  if (Crc32(data.data(), data.size() - 4) != stored_crc) {
+    return Status::Corruption("collection: checksum mismatch");
+  }
+  data = data.substr(0, data.size() - 4);
+
+  size_t pos = 8;
+  uint64_t count = coding::ReadVByte(
+      reinterpret_cast<const uint8_t*>(data.data()), data.size(), &pos);
+  if (count == 0) return Status::Corruption("collection: bad count");
+  count -= 1;
+  if (count > data.size()) {
+    return Status::Corruption("collection: record count too large");
+  }
+
+  SequenceCollection col;
+  col.names_.reserve(count);
+  col.descriptions_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name, desc;
+    CAFE_RETURN_IF_ERROR(ReadString(data, &pos, &name));
+    CAFE_RETURN_IF_ERROR(ReadString(data, &pos, &desc));
+    col.names_.push_back(std::move(name));
+    col.descriptions_.push_back(std::move(desc));
+  }
+
+  Result<SequenceStore> store = SequenceStore::Deserialize(data.substr(pos));
+  if (!store.ok()) return store.status();
+  if (store->NumSequences() != count) {
+    return Status::Corruption("collection: name/sequence count mismatch");
+  }
+  col.store_ = std::move(*store);
+  return col;
+}
+
+Status SequenceCollection::Save(const std::string& path) const {
+  std::string data;
+  Serialize(&data);
+  return WriteStringToFile(path, data);
+}
+
+Result<SequenceCollection> SequenceCollection::Load(const std::string& path) {
+  std::string data;
+  Status s = ReadFileToString(path, &data);
+  if (!s.ok()) return s;
+  return Deserialize(data);
+}
+
+}  // namespace cafe

@@ -1,0 +1,92 @@
+#include "collection/fasta.h"
+
+#include "alphabet/nucleotide.h"
+#include "util/env.h"
+#include "util/stringutil.h"
+
+namespace cafe {
+
+Status ParseFasta(std::string_view text, std::vector<FastaRecord>* out) {
+  out->clear();
+  FastaRecord* current = nullptr;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    ++line_no;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    if (line[0] == '>') {
+      std::string_view header = Trim(line.substr(1));
+      if (header.empty()) {
+        return Status::InvalidArgument("empty FASTA header at line " +
+                                       std::to_string(line_no));
+      }
+      FastaRecord rec;
+      size_t space = header.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        rec.id = std::string(header);
+      } else {
+        rec.id = std::string(header.substr(0, space));
+        rec.description = std::string(Trim(header.substr(space + 1)));
+      }
+      out->push_back(std::move(rec));
+      current = &out->back();
+      continue;
+    }
+
+    if (current == nullptr) {
+      return Status::InvalidArgument(
+          "sequence data before first FASTA header at line " +
+          std::to_string(line_no));
+    }
+    std::string normalized = NormalizeSequence(line);
+    if (!IsValidSequence(normalized)) {
+      return Status::InvalidArgument("invalid character in record '" +
+                                     current->id + "' at line " +
+                                     std::to_string(line_no));
+    }
+    current->sequence.append(normalized);
+  }
+  return Status::OK();
+}
+
+Status ReadFastaFile(const std::string& path, std::vector<FastaRecord>* out) {
+  std::string text;
+  CAFE_RETURN_IF_ERROR(ReadFileToString(path, &text));
+  return ParseFasta(text, out);
+}
+
+std::string WriteFasta(const std::vector<FastaRecord>& records,
+                       size_t line_width) {
+  if (line_width == 0) line_width = 70;
+  std::string out;
+  for (const FastaRecord& rec : records) {
+    out.push_back('>');
+    out.append(rec.id);
+    if (!rec.description.empty()) {
+      out.push_back(' ');
+      out.append(rec.description);
+    }
+    out.push_back('\n');
+    for (size_t i = 0; i < rec.sequence.size(); i += line_width) {
+      out.append(rec.sequence, i,
+                 std::min(line_width, rec.sequence.size() - i));
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+Status WriteFastaFile(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      size_t line_width) {
+  return WriteStringToFile(path, WriteFasta(records, line_width));
+}
+
+}  // namespace cafe

@@ -1,0 +1,46 @@
+// FASTA parsing and writing. The database construction path of the system:
+// GenBank-style flat files are distributed as FASTA, and the synthetic
+// generator emits the same records, so everything enters the collection
+// through this module.
+
+#ifndef CAFE_COLLECTION_FASTA_H_
+#define CAFE_COLLECTION_FASTA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cafe {
+
+/// One FASTA record. `id` is the first whitespace-delimited token of the
+/// header; `description` is the remainder of the header line.
+struct FastaRecord {
+  std::string id;
+  std::string description;
+  std::string sequence;  // normalized (upper case, U->T)
+};
+
+/// Parses FASTA text. Sequence lines are concatenated, normalized and
+/// validated against the IUPAC alphabet; blank lines are permitted.
+/// Fails with InvalidArgument on malformed input (data before the first
+/// header, empty header, invalid characters — the offending record is
+/// named in the message).
+Status ParseFasta(std::string_view text, std::vector<FastaRecord>* out);
+
+/// Reads and parses a FASTA file.
+Status ReadFastaFile(const std::string& path, std::vector<FastaRecord>* out);
+
+/// Renders records as FASTA with `line_width` bases per sequence line.
+std::string WriteFasta(const std::vector<FastaRecord>& records,
+                       size_t line_width = 70);
+
+/// Writes records to a file.
+Status WriteFastaFile(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      size_t line_width = 70);
+
+}  // namespace cafe
+
+#endif  // CAFE_COLLECTION_FASTA_H_

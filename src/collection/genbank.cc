@@ -1,0 +1,152 @@
+#include "collection/genbank.h"
+
+#include <cctype>
+
+#include "alphabet/nucleotide.h"
+#include "util/env.h"
+#include "util/stringutil.h"
+
+namespace cafe {
+namespace {
+
+// First whitespace-delimited token of a line body.
+std::string_view FirstToken(std::string_view text) {
+  size_t b = 0;
+  while (b < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[b]))) {
+    ++b;
+  }
+  size_t e = b;
+  while (e < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[e]))) {
+    ++e;
+  }
+  return text.substr(b, e - b);
+}
+
+}  // namespace
+
+Status ParseGenBank(std::string_view text, std::vector<FastaRecord>* out) {
+  out->clear();
+  FastaRecord* current = nullptr;
+  bool in_origin = false;
+  bool in_definition = false;
+  size_t line_no = 0;
+  size_t pos = 0;
+
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    ++line_no;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (Trim(line).empty()) continue;
+
+    if (StartsWith(line, "LOCUS")) {
+      std::string_view name = FirstToken(line.substr(5));
+      if (name.empty()) {
+        return Status::InvalidArgument("empty LOCUS name at line " +
+                                       std::to_string(line_no));
+      }
+      out->push_back(FastaRecord{std::string(name), "", ""});
+      current = &out->back();
+      in_origin = false;
+      in_definition = false;
+      continue;
+    }
+    if (StartsWith(line, "//")) {
+      in_origin = false;
+      in_definition = false;
+      current = nullptr;
+      continue;
+    }
+    if (current == nullptr) {
+      return Status::InvalidArgument("data before LOCUS at line " +
+                                     std::to_string(line_no));
+    }
+    if (StartsWith(line, "DEFINITION")) {
+      current->description = std::string(Trim(line.substr(10)));
+      in_definition = true;
+      in_origin = false;
+      continue;
+    }
+    if (StartsWith(line, "ORIGIN")) {
+      in_origin = true;
+      in_definition = false;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(line[0]))) {
+      // Any other keyword section (ACCESSION, FEATURES, ...): skip it and
+      // end any continued DEFINITION.
+      in_definition = false;
+      in_origin = false;
+      continue;
+    }
+    if (in_definition) {
+      current->description += " ";
+      current->description += std::string(Trim(line));
+      continue;
+    }
+    if (in_origin) {
+      // "        1 gatcctccat atacaacggt ..." — digits and spaces are
+      // layout; letters are bases.
+      for (char c : line) {
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            std::isspace(static_cast<unsigned char>(c))) {
+          continue;
+        }
+        char u = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+        if (u == 'U') u = 'T';
+        if (!IsIupac(u)) {
+          return Status::InvalidArgument(
+              std::string("invalid base '") + c + "' in record '" +
+              current->id + "' at line " + std::to_string(line_no));
+        }
+        current->sequence.push_back(u);
+      }
+      continue;
+    }
+    // Indented continuation of a section we do not track: ignore.
+  }
+  return Status::OK();
+}
+
+Status ReadGenBankFile(const std::string& path,
+                       std::vector<FastaRecord>* out) {
+  std::string text;
+  CAFE_RETURN_IF_ERROR(ReadFileToString(path, &text));
+  return ParseGenBank(text, out);
+}
+
+std::string WriteGenBank(const std::vector<FastaRecord>& records) {
+  std::string out;
+  for (const FastaRecord& rec : records) {
+    out += "LOCUS       " + rec.id + " " +
+           std::to_string(rec.sequence.size()) + " bp    DNA\n";
+    if (!rec.description.empty()) {
+      out += "DEFINITION  " + rec.description + "\n";
+    }
+    out += "ORIGIN\n";
+    for (size_t i = 0; i < rec.sequence.size(); i += 60) {
+      char counter[16];
+      std::snprintf(counter, sizeof(counter), "%9zu", i + 1);
+      out += counter;
+      for (size_t j = i; j < std::min(i + 60, rec.sequence.size());
+           j += 10) {
+        out.push_back(' ');
+        size_t end = std::min(j + 10, rec.sequence.size());
+        for (size_t k = j; k < end; ++k) {
+          out.push_back(static_cast<char>(
+              std::tolower(static_cast<unsigned char>(rec.sequence[k]))));
+        }
+      }
+      out.push_back('\n');
+    }
+    out += "//\n";
+  }
+  return out;
+}
+
+}  // namespace cafe

@@ -1,0 +1,37 @@
+// GenBank flat-file parsing.
+//
+// The 1996 collections were distributed as GenBank flat files (LOCUS /
+// DEFINITION / ORIGIN records), not FASTA. This parser handles the
+// subset needed to load sequence data: LOCUS (accession), DEFINITION
+// (description, possibly continued over lines), ORIGIN..// (sequence
+// lines with base counters), and tolerates any other keyword lines.
+
+#ifndef CAFE_COLLECTION_GENBANK_H_
+#define CAFE_COLLECTION_GENBANK_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collection/fasta.h"
+#include "util/status.h"
+
+namespace cafe {
+
+/// Parses GenBank flat-file text into the same record structure FASTA
+/// uses (id = LOCUS name, description = DEFINITION). Fails with
+/// InvalidArgument on structural errors (sequence data outside
+/// ORIGIN..//, missing LOCUS, invalid bases), naming the offending line.
+Status ParseGenBank(std::string_view text, std::vector<FastaRecord>* out);
+
+/// Reads and parses a GenBank flat file.
+Status ReadGenBankFile(const std::string& path,
+                       std::vector<FastaRecord>* out);
+
+/// Renders records as a minimal GenBank flat file (LOCUS, DEFINITION,
+/// ORIGIN with 60 bases per line in the classic 6x10 layout, //).
+std::string WriteGenBank(const std::vector<FastaRecord>& records);
+
+}  // namespace cafe
+
+#endif  // CAFE_COLLECTION_GENBANK_H_

@@ -1,0 +1,24 @@
+#include "eval/harness.h"
+
+namespace cafe::eval {
+
+Result<BatchResult> RunBatch(SearchEngine* engine,
+                             const std::vector<std::string>& queries,
+                             const SearchOptions& options) {
+  BatchResult out;
+  out.engine_name = engine->name();
+  out.results.reserve(queries.size());
+  for (const std::string& query : queries) {
+    Result<SearchResult> r = engine->Search(query, options);
+    if (!r.ok()) return r.status();
+    out.aggregate.Accumulate(r->stats);
+    out.results.push_back(std::move(*r));
+  }
+  if (!queries.empty()) {
+    out.mean_query_seconds =
+        out.aggregate.total_seconds / static_cast<double>(queries.size());
+  }
+  return out;
+}
+
+}  // namespace cafe::eval

@@ -1,0 +1,32 @@
+// Batch evaluation harness: run an engine over a query workload,
+// aggregate per-query statistics, and keep the rankings for
+// effectiveness scoring.
+
+#ifndef CAFE_EVAL_HARNESS_H_
+#define CAFE_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "search/engine.h"
+
+namespace cafe::eval {
+
+struct BatchResult {
+  std::string engine_name;
+  /// One SearchResult per query, in input order.
+  std::vector<SearchResult> results;
+  /// Sum over queries.
+  SearchStats aggregate;
+  double mean_query_seconds = 0.0;
+};
+
+/// Runs every query through the engine. Fails fast on the first
+/// engine error.
+Result<BatchResult> RunBatch(SearchEngine* engine,
+                             const std::vector<std::string>& queries,
+                             const SearchOptions& options);
+
+}  // namespace cafe::eval
+
+#endif  // CAFE_EVAL_HARNESS_H_

@@ -1,0 +1,98 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cafe::eval {
+
+double RecallAtK(const std::vector<SearchHit>& hits,
+                 const std::vector<uint32_t>& relevant, uint32_t k) {
+  if (relevant.empty()) return 1.0;
+  std::unordered_set<uint32_t> rel(relevant.begin(), relevant.end());
+  size_t found = 0;
+  size_t limit = std::min<size_t>(k, hits.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (rel.count(hits[i].seq_id) != 0) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(rel.size());
+}
+
+double AveragePrecision(const std::vector<SearchHit>& hits,
+                        const std::vector<uint32_t>& relevant) {
+  if (relevant.empty()) return 1.0;
+  std::unordered_set<uint32_t> rel(relevant.begin(), relevant.end());
+  size_t found = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    if (rel.count(hits[i].seq_id) != 0) {
+      ++found;
+      sum += static_cast<double>(found) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(rel.size());
+}
+
+double PrecisionAtK(const std::vector<SearchHit>& hits,
+                    const std::vector<uint32_t>& relevant, uint32_t k) {
+  if (k == 0) return 0.0;
+  std::unordered_set<uint32_t> rel(relevant.begin(), relevant.end());
+  size_t limit = std::min<size_t>(k, hits.size());
+  size_t found = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    found += rel.count(hits[i].seq_id) != 0;
+  }
+  return static_cast<double>(found) / static_cast<double>(k);
+}
+
+std::vector<PrecisionRecallPoint> PrecisionRecallCurve(
+    const std::vector<SearchHit>& hits,
+    const std::vector<uint32_t>& relevant) {
+  std::vector<PrecisionRecallPoint> curve;
+  std::unordered_set<uint32_t> rel(relevant.begin(), relevant.end());
+  if (rel.empty()) return curve;
+  size_t found = 0;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    if (rel.count(hits[i].seq_id) != 0) {
+      ++found;
+      curve.push_back(
+          {static_cast<double>(found) / static_cast<double>(rel.size()),
+           static_cast<double>(found) / static_cast<double>(i + 1)});
+    }
+  }
+  return curve;
+}
+
+double ElevenPointAveragePrecision(const std::vector<SearchHit>& hits,
+                                   const std::vector<uint32_t>& relevant) {
+  if (relevant.empty()) return 1.0;
+  std::vector<PrecisionRecallPoint> curve =
+      PrecisionRecallCurve(hits, relevant);
+  double sum = 0.0;
+  for (int level = 0; level <= 10; ++level) {
+    double recall = level / 10.0;
+    // Interpolated precision: max precision at any recall >= level.
+    double best = 0.0;
+    for (const PrecisionRecallPoint& p : curve) {
+      if (p.recall + 1e-12 >= recall) best = std::max(best, p.precision);
+    }
+    sum += best;
+  }
+  return sum / 11.0;
+}
+
+double OverlapAtK(const std::vector<SearchHit>& candidate,
+                  const std::vector<SearchHit>& oracle, uint32_t k) {
+  size_t oracle_k = std::min<size_t>(k, oracle.size());
+  if (oracle_k == 0) return 1.0;
+  std::unordered_set<uint32_t> cand;
+  for (size_t i = 0; i < std::min<size_t>(k, candidate.size()); ++i) {
+    cand.insert(candidate[i].seq_id);
+  }
+  size_t found = 0;
+  for (size_t i = 0; i < oracle_k; ++i) {
+    if (cand.count(oracle[i].seq_id) != 0) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(oracle_k);
+}
+
+}  // namespace cafe::eval

@@ -1,0 +1,51 @@
+// Retrieval-effectiveness metrics, measured against either the planted
+// ground truth or the exhaustive-search oracle ranking.
+
+#ifndef CAFE_EVAL_METRICS_H_
+#define CAFE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "search/engine.h"
+
+namespace cafe::eval {
+
+/// Fraction of `relevant` ids appearing among the first `k` hits.
+/// Returns 1.0 when `relevant` is empty.
+double RecallAtK(const std::vector<SearchHit>& hits,
+                 const std::vector<uint32_t>& relevant, uint32_t k);
+
+/// Non-interpolated average precision of the ranking w.r.t. `relevant`.
+double AveragePrecision(const std::vector<SearchHit>& hits,
+                        const std::vector<uint32_t>& relevant);
+
+/// Fraction of the oracle's top-k ids that also appear in the candidate
+/// engine's top-k ("how much of the exhaustive answer set the partitioned
+/// search reproduces" — the paper's accuracy criterion).
+double OverlapAtK(const std::vector<SearchHit>& candidate,
+                  const std::vector<SearchHit>& oracle, uint32_t k);
+
+/// Fraction of the first k hits that are relevant (0 if k = 0).
+double PrecisionAtK(const std::vector<SearchHit>& hits,
+                    const std::vector<uint32_t>& relevant, uint32_t k);
+
+/// Classic 11-point interpolated average precision: interpolated
+/// precision sampled at recall 0.0, 0.1, ..., 1.0 and averaged — the
+/// standard IR summary of the era the paper was written in.
+double ElevenPointAveragePrecision(const std::vector<SearchHit>& hits,
+                                   const std::vector<uint32_t>& relevant);
+
+/// One precision/recall operating point per rank where a relevant item
+/// was retrieved (useful for plotting the trade-off curve).
+struct PrecisionRecallPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+};
+std::vector<PrecisionRecallPoint> PrecisionRecallCurve(
+    const std::vector<SearchHit>& hits,
+    const std::vector<uint32_t>& relevant);
+
+}  // namespace cafe::eval
+
+#endif  // CAFE_EVAL_METRICS_H_

@@ -1,0 +1,75 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace cafe::eval {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != ',' && c != '%' && c != 'e' &&
+        c != 'x' && c != 'E') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, size_t w, bool right) {
+    std::string out;
+    if (right) out.append(w - s.size(), ' ');
+    out += s;
+    if (!right) out.append(w - s.size(), ' ');
+    return out;
+  };
+
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "  ";
+    out += pad(headers_[c], widths[c], false);
+  }
+  out += "\n";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "  ";
+    out.append(widths[c], '-');
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c) out += "  ";
+      out += pad(row[c], widths[c], LooksNumeric(row[c]));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(Render().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace cafe::eval

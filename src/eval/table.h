@@ -1,0 +1,31 @@
+// Column-aligned table rendering for the experiment harnesses: every
+// bench binary prints its reproduced paper table through this.
+
+#ifndef CAFE_EVAL_TABLE_H_
+#define CAFE_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cafe::eval {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule; numeric-looking cells right-aligned.
+  std::string Render() const;
+
+  /// Render and write to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cafe::eval
+
+#endif  // CAFE_EVAL_TABLE_H_

@@ -1,0 +1,168 @@
+#include "index/disk_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "index/index_format.h"
+#include "util/crc32.h"
+
+namespace cafe {
+
+Result<std::unique_ptr<DiskIndex>> DiskIndex::Open(
+    const std::string& path, size_t cache_capacity_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open index file: " + path);
+  }
+
+  // Streaming pass: verify the CRC and find the file size without
+  // retaining the postings blob.
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  if (file_size < 8 + 14 + 4) {
+    return Status::Corruption("index: too short");
+  }
+  in.seekg(0, std::ios::beg);
+  uint32_t crc = 0;
+  {
+    std::vector<char> buf(1 << 20);
+    uint64_t remaining = file_size - 4;
+    while (remaining > 0) {
+      size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(remaining, buf.size()));
+      in.read(buf.data(), static_cast<std::streamsize>(chunk));
+      if (!in) return Status::IOError("index: read failed: " + path);
+      crc = Crc32(buf.data(), chunk, crc);
+      remaining -= chunk;
+    }
+    uint32_t stored_crc;
+    char tail[4];
+    in.read(tail, 4);
+    if (!in) return Status::IOError("index: read failed: " + path);
+    std::memcpy(&stored_crc, tail, 4);
+    if (crc != stored_crc) {
+      return Status::Corruption("index: checksum mismatch");
+    }
+  }
+
+  // Parse the prefix (header + doc lengths + directory). The body is
+  // read once here and released immediately after parsing — steady-state
+  // memory holds only the directory, never the postings blob.
+  std::unique_ptr<DiskIndex> index(new DiskIndex());
+  index_internal::IndexPrefix prefix;
+  {
+    const uint64_t body = file_size - 4;
+    std::string data(body, '\0');
+    in.clear();
+    in.seekg(0, std::ios::beg);
+    in.read(data.data(), static_cast<std::streamsize>(body));
+    if (!in) return Status::IOError("index: read failed: " + path);
+    CAFE_RETURN_IF_ERROR(index_internal::ParseIndexPrefix(data, &prefix));
+  }
+
+  index->options_ = prefix.options;
+  index->doc_lengths_ = std::move(prefix.doc_lengths);
+  index->directory_ = std::move(prefix.directory);
+  index->stats_ = prefix.stats;
+  index->blob_file_offset_ = prefix.blob_offset;
+  index->blob_bytes_ = prefix.blob_bytes;
+  index->path_ = path;
+  index->cache_capacity_bytes_ = cache_capacity_bytes;
+
+  // Per-term bit lengths from consecutive offsets.
+  index->bit_lengths_.reserve(index->directory_.NumTerms());
+  uint32_t prev_term = 0;
+  uint64_t prev_offset = 0;
+  bool have_prev = false;
+  index->directory_.ForEachTerm([&](uint32_t term, const TermEntry& e) {
+    if (have_prev) {
+      index->bit_lengths_[prev_term] = e.bit_offset - prev_offset;
+    }
+    prev_term = term;
+    prev_offset = e.bit_offset;
+    have_prev = true;
+  });
+  if (have_prev) {
+    index->bit_lengths_[prev_term] =
+        index->blob_bytes_ * 8 - prev_offset;
+  }
+
+  index->file_.open(path, std::ios::binary);
+  if (!index->file_) {
+    return Status::IOError("cannot reopen index file: " + path);
+  }
+  return index;
+}
+
+Status DiskIndex::FetchTermBytes(uint32_t term, const TermEntry& entry,
+                                 const CacheEntry** out) const {
+  auto it = cache_.find(term);
+  if (it != cache_.end()) {
+    ++cache_stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    *out = &it->second;
+    return Status::OK();
+  }
+  ++cache_stats_.misses;
+
+  auto len_it = bit_lengths_.find(term);
+  if (len_it == bit_lengths_.end()) {
+    return Status::Internal("disk index: missing bit length");
+  }
+  uint64_t first_byte = entry.bit_offset / 8;
+  uint64_t end_byte = (entry.bit_offset + len_it->second + 7) / 8;
+  if (end_byte > blob_bytes_) {
+    return Status::Corruption("disk index: list range out of blob");
+  }
+
+  CacheEntry cache_entry;
+  cache_entry.first_byte = first_byte;
+  cache_entry.bytes.resize(end_byte - first_byte);
+  file_.clear();
+  file_.seekg(
+      static_cast<std::streamoff>(blob_file_offset_ + first_byte));
+  file_.read(reinterpret_cast<char*>(cache_entry.bytes.data()),
+             static_cast<std::streamsize>(cache_entry.bytes.size()));
+  if (!file_) {
+    return Status::IOError("disk index: postings read failed");
+  }
+  cache_stats_.bytes_read += cache_entry.bytes.size();
+
+  // Insert and evict.
+  cache_bytes_ += cache_entry.bytes.size();
+  lru_.push_front(term);
+  cache_entry.lru_it = lru_.begin();
+  auto [ins, ok] = cache_.emplace(term, std::move(cache_entry));
+  (void)ok;
+  while (cache_bytes_ > cache_capacity_bytes_ && lru_.size() > 1) {
+    uint32_t victim = lru_.back();
+    lru_.pop_back();
+    auto vit = cache_.find(victim);
+    cache_bytes_ -= vit->second.bytes.size();
+    cache_.erase(vit);
+    ++cache_stats_.evictions;
+  }
+  *out = &ins->second;
+  return Status::OK();
+}
+
+void DiskIndex::ScanPostings(uint32_t term,
+                             const PostingCallback& fn) const {
+  const TermEntry* e = directory_.Find(term);
+  if (e == nullptr) return;
+  const CacheEntry* cached = nullptr;
+  Status s = FetchTermBytes(term, *e, &cached);
+  if (!s.ok()) return;  // I/O failure: treat as no postings (CRC-checked
+                        // at open, so this indicates a vanished file)
+  uint64_t local_bit_offset = e->bit_offset - cached->first_byte * 8;
+  DecodePostings(cached->bytes.data(), cached->bytes.size(),
+                 local_bit_offset, *e, num_docs(), options_.granularity,
+                 &pos_buf_, fn);
+}
+
+uint64_t DiskIndex::MemoryBytes() const {
+  return directory_.MemoryBytes() + cache_bytes_ +
+         bit_lengths_.size() * 16;
+}
+
+}  // namespace cafe

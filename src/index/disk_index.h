@@ -1,0 +1,103 @@
+// DiskIndex: a disk-resident posting source.
+//
+// CAFE's defining systems property is that the index lives on disk: only
+// the term directory is memory-resident, and each query touches just the
+// postings lists of its own interval terms. DiskIndex opens a file
+// written by InvertedIndex::Save, keeps the directory (and per-term list
+// lengths) in memory, verifies the file checksum once with a streaming
+// pass, and serves ScanPostings by reading the term's byte range on
+// demand through an LRU cache of recently used lists.
+//
+// This makes the fundamental trade measurable (bench E3): slightly slower
+// coarse phases in exchange for steady-state memory independent of the
+// postings volume.
+
+#ifndef CAFE_INDEX_DISK_INDEX_H_
+#define CAFE_INDEX_DISK_INDEX_H_
+
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/posting_source.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace cafe {
+
+class DiskIndex final : public PostingSource {
+ public:
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t bytes_read = 0;   // postings bytes fetched from disk
+    uint64_t evictions = 0;
+  };
+
+  /// Opens an index file produced by InvertedIndex::Save. The whole file
+  /// is streamed once to verify its CRC; afterwards only the directory
+  /// (plus up to `cache_capacity_bytes` of cached postings) stays in
+  /// memory.
+  static Result<std::unique_ptr<DiskIndex>> Open(
+      const std::string& path, size_t cache_capacity_bytes = 4 << 20);
+
+  const IndexOptions& options() const override { return options_; }
+  uint32_t num_docs() const override {
+    return static_cast<uint32_t>(doc_lengths_.size());
+  }
+  const TermEntry* FindTerm(uint32_t term) const override {
+    return directory_.Find(term);
+  }
+  void ScanPostings(uint32_t term,
+                    const PostingCallback& fn) const override;
+
+  const std::vector<uint32_t>& doc_lengths() const { return doc_lengths_; }
+  const IndexStats& stats() const { return stats_; }
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
+  /// Resident bytes: directory + current cache contents.
+  uint64_t MemoryBytes() const;
+
+ private:
+  DiskIndex() : directory_(4) {}
+
+  struct CacheEntry {
+    std::vector<uint8_t> bytes;
+    uint64_t first_byte = 0;  // blob-relative offset of bytes[0]
+    std::list<uint32_t>::iterator lru_it;
+  };
+
+  /// Fetches (or returns cached) raw bytes covering the term's list.
+  Status FetchTermBytes(uint32_t term, const TermEntry& entry,
+                        const CacheEntry** out) const;
+
+  IndexOptions options_;
+  std::vector<uint32_t> doc_lengths_;
+  TermDirectory directory_;
+  IndexStats stats_;
+
+  std::string path_;
+  mutable std::ifstream file_;
+  uint64_t blob_file_offset_ = 0;  // byte offset of the blob in the file
+  uint64_t blob_bytes_ = 0;
+
+  // Per-term compressed list length in bits (offsets are ascending in
+  // term order, so lengths are differences).
+  std::unordered_map<uint32_t, uint64_t> bit_lengths_;
+
+  // LRU cache over term byte ranges.
+  size_t cache_capacity_bytes_;
+  mutable size_t cache_bytes_ = 0;
+  mutable std::list<uint32_t> lru_;  // front = most recently used
+  mutable std::unordered_map<uint32_t, CacheEntry> cache_;
+  mutable CacheStats cache_stats_;
+  mutable std::vector<uint32_t> pos_buf_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_INDEX_DISK_INDEX_H_

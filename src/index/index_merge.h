@@ -1,0 +1,39 @@
+// Sharded index construction.
+//
+// Building an index over a collection that exceeds memory proceeds the
+// way large text inverted files are built: index consecutive shards of
+// the collection independently, then merge the shards' postings term by
+// term. MergeIndexes produces an index bit-for-bit equivalent in content
+// to a direct build over the whole collection (tested); BuildSharded is
+// the convenience driver.
+//
+// Index stopping is a whole-collection decision (a term's collection
+// frequency is unknowable per shard), so shards must be built without
+// stopping; apply stopping, if desired, in a direct build.
+
+#ifndef CAFE_INDEX_INDEX_MERGE_H_
+#define CAFE_INDEX_INDEX_MERGE_H_
+
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace cafe {
+
+/// Merges shard indexes covering consecutive document ranges: shard i's
+/// local document j is global document `doc_offsets[i] + j`. All shards
+/// must share identical options with stop_doc_fraction == 1.0.
+/// `doc_offsets` must be ascending and sized like `shards`.
+Result<InvertedIndex> MergeIndexes(
+    const std::vector<const InvertedIndex*>& shards,
+    const std::vector<uint32_t>& doc_offsets);
+
+/// Builds an index over `collection` in shards of `docs_per_shard`
+/// sequences and merges them.
+Result<InvertedIndex> BuildSharded(const SequenceCollection& collection,
+                                   const IndexOptions& options,
+                                   uint32_t docs_per_shard);
+
+}  // namespace cafe
+
+#endif  // CAFE_INDEX_INDEX_MERGE_H_

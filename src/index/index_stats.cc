@@ -1,0 +1,45 @@
+// Human-readable index statistics reporting (used by the index_explorer
+// example and the size experiments).
+
+#include "index/index_stats.h"
+
+#include <sstream>
+
+#include "index/inverted_index.h"
+#include "util/stringutil.h"
+
+namespace cafe {
+
+std::string FormatIndexStats(const InvertedIndex& index,
+                             uint64_t collection_bases) {
+  const IndexStats& s = index.stats();
+  std::ostringstream out;
+  out << "interval length     : " << index.options().interval_length << "\n";
+  out << "stride              : " << index.options().stride << "\n";
+  out << "granularity         : "
+      << (index.options().granularity == IndexGranularity::kPositional
+              ? "positional"
+              : "document")
+      << "\n";
+  out << "sequences           : " << WithCommas(index.num_docs()) << "\n";
+  out << "distinct terms      : " << WithCommas(s.num_terms) << "\n";
+  out << "postings            : " << WithCommas(s.total_postings) << "\n";
+  if (s.stopped_terms > 0) {
+    out << "stopped terms       : " << WithCommas(s.stopped_terms) << "\n";
+    out << "stopped postings    : " << WithCommas(s.stopped_postings) << "\n";
+  }
+  out << "postings blob       : " << HumanBytes(s.postings_bits / 8) << "\n";
+  out << "bits per posting    : " << FormatDouble(s.bits_per_posting, 2)
+      << "\n";
+  uint64_t serialized = index.SerializedBytes();
+  out << "serialized index    : " << HumanBytes(serialized) << "\n";
+  if (collection_bases > 0) {
+    double pct = 100.0 * static_cast<double>(serialized) /
+                 static_cast<double>(collection_bases);
+    out << "index / database    : " << FormatDouble(pct, 1)
+        << "% of one byte per base\n";
+  }
+  return out.str();
+}
+
+}  // namespace cafe

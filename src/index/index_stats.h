@@ -1,0 +1,21 @@
+// Index statistics reporting helpers.
+
+#ifndef CAFE_INDEX_INDEX_STATS_H_
+#define CAFE_INDEX_INDEX_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cafe {
+
+class InvertedIndex;
+
+/// Multi-line summary of an index; `collection_bases` (total bases in the
+/// indexed collection) enables the index-to-database size ratio line,
+/// pass 0 to omit it.
+std::string FormatIndexStats(const InvertedIndex& index,
+                             uint64_t collection_bases);
+
+}  // namespace cafe
+
+#endif  // CAFE_INDEX_INDEX_STATS_H_

@@ -1,0 +1,43 @@
+#include "index/interval.h"
+
+#include "alphabet/nucleotide.h"
+
+namespace cafe {
+
+namespace interval_internal {
+int CodeOf(char c) { return BaseToCode(c); }
+}  // namespace interval_internal
+
+int64_t EncodeInterval(std::string_view window, int n) {
+  if (n < kMinIntervalLength || n > kMaxIntervalLength ||
+      window.size() < static_cast<size_t>(n)) {
+    return -1;
+  }
+  uint32_t term = 0;
+  for (int i = 0; i < n; ++i) {
+    int code = BaseToCode(window[i]);
+    if (code < 0) return -1;
+    term = (term << 2) | static_cast<uint32_t>(code);
+  }
+  return term;
+}
+
+std::string DecodeInterval(uint32_t term, int n) {
+  std::string out(static_cast<size_t>(n), 'A');
+  for (int i = n - 1; i >= 0; --i) {
+    out[i] = CodeToBase(static_cast<int>(term & 3));
+    term >>= 2;
+  }
+  return out;
+}
+
+std::vector<IntervalHit> ExtractIntervals(std::string_view seq, int n,
+                                          uint32_t stride) {
+  std::vector<IntervalHit> out;
+  ForEachInterval(seq, n, stride, [&](uint32_t pos, uint32_t term) {
+    out.push_back(IntervalHit{pos, term});
+  });
+  return out;
+}
+
+}  // namespace cafe

@@ -1,0 +1,94 @@
+// Fixed-length substrings ("intervals") and their integer codes.
+//
+// The paper's central representational choice: every window of n
+// consecutive unambiguous bases maps to a 2n-bit integer term
+// (A=0 C=1 G=2 T=3, most significant base first), giving a vocabulary of
+// at most 4^n terms. Windows containing IUPAC wildcards are skipped — a
+// wildcard denotes several bases, so it cannot be assigned a single term;
+// skipping loses nothing measurable at GenBank wildcard rates.
+//
+// Extraction is rolling (O(1) per window). The database side may extract
+// at a stride > 1 (e.g. non-overlapping intervals) to shrink the index;
+// the query side always uses stride 1.
+
+#ifndef CAFE_INDEX_INTERVAL_H_
+#define CAFE_INDEX_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafe {
+
+/// Inclusive bounds on interval length: 4^16 already exceeds a uint32
+/// vocabulary at 17, and lengths below 4 have no selectivity.
+inline constexpr int kMinIntervalLength = 4;
+inline constexpr int kMaxIntervalLength = 16;
+
+/// Number of distinct terms for interval length n (4^n).
+inline uint64_t VocabularyUniverse(int n) { return uint64_t{1} << (2 * n); }
+
+/// An extracted interval occurrence.
+struct IntervalHit {
+  uint32_t position;  // start offset within the sequence
+  uint32_t term;      // 2n-bit interval code
+};
+
+/// Encodes the first `n` characters of `window` as a term.
+/// Returns -1 (as int64) if any character is not an unambiguous base.
+int64_t EncodeInterval(std::string_view window, int n);
+
+/// Decodes a term back to its n-character string form (for diagnostics).
+std::string DecodeInterval(uint32_t term, int n);
+
+/// Calls `fn(position, term)` for every valid interval of length `n` at
+/// positions 0, stride, 2*stride, ... Windows straddling a wildcard are
+/// skipped (their aligned position is consumed, matching an indexing pass
+/// that steps the sequence once).
+template <typename Fn>
+void ForEachInterval(std::string_view seq, int n, uint32_t stride, Fn&& fn);
+
+/// Convenience: materializes all interval hits.
+std::vector<IntervalHit> ExtractIntervals(std::string_view seq, int n,
+                                          uint32_t stride = 1);
+
+// ---------------------------------------------------------------------------
+// Implementation of the template.
+
+namespace interval_internal {
+/// Base code lookup shared with alphabet/; -1 for non-base characters.
+int CodeOf(char c);
+}  // namespace interval_internal
+
+template <typename Fn>
+void ForEachInterval(std::string_view seq, int n, uint32_t stride, Fn&& fn) {
+  if (n < kMinIntervalLength || n > kMaxIntervalLength ||
+      seq.size() < static_cast<size_t>(n) || stride == 0) {
+    return;
+  }
+  const uint32_t mask =
+      n == 16 ? 0xFFFFFFFFu : ((uint32_t{1} << (2 * n)) - 1);
+  uint32_t term = 0;
+  int run = 0;  // length of the current wildcard-free suffix, capped at n
+  for (size_t i = 0; i < seq.size(); ++i) {
+    int code = interval_internal::CodeOf(seq[i]);
+    if (code < 0) {
+      run = 0;
+      term = 0;
+      continue;
+    }
+    term = ((term << 2) | static_cast<uint32_t>(code)) & mask;
+    if (run < n) ++run;
+    if (run == n) {
+      size_t start = i + 1 - static_cast<size_t>(n);
+      if (start % stride == 0) {
+        fn(static_cast<uint32_t>(start), term);
+      }
+    }
+  }
+}
+
+}  // namespace cafe
+
+#endif  // CAFE_INDEX_INTERVAL_H_

@@ -1,0 +1,140 @@
+// The compressed inverted interval index — the data structure the paper
+// contributes. Maps every interval term to a compressed postings list over
+// the collection; the coarse search phase drives its ForEachPosting.
+
+#ifndef CAFE_INDEX_INVERTED_INDEX_H_
+#define CAFE_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/posting_source.h"
+#include "index/postings.h"
+#include "index/vocabulary.h"
+#include "util/status.h"
+
+namespace cafe {
+
+class SequenceCollection;
+
+/// Build-time knobs. Defaults follow the CAFE practice: overlapping
+/// intervals of length 8, positional granularity, no stopping.
+struct IndexOptions {
+  /// Interval (fixed substring) length n; vocabulary is 4^n.
+  int interval_length = 8;
+
+  /// Database-side extraction stride: 1 indexes every position
+  /// (overlapping intervals); `interval_length` indexes non-overlapping
+  /// intervals. The query side always extracts at stride 1.
+  uint32_t stride = 1;
+
+  /// Document-level or positional postings.
+  IndexGranularity granularity = IndexGranularity::kPositional;
+
+  /// Index stopping: a term occurring in more than this fraction of the
+  /// sequences is dropped from the index (1.0 disables stopping). The
+  /// coarse search simply never sees stopped terms — the lossy
+  /// acceleration the CAFE papers describe.
+  double stop_doc_fraction = 1.0;
+
+  Status Validate() const;
+};
+
+/// Size/occupancy statistics used by experiments E1/E2/E6.
+struct IndexStats {
+  uint64_t num_terms = 0;
+  uint64_t total_postings = 0;      // surviving (doc, pos) occurrences
+  uint64_t stopped_terms = 0;
+  uint64_t stopped_postings = 0;
+  uint64_t postings_bits = 0;       // compressed postings blob
+  uint64_t directory_bytes = 0;     // in-memory term directory footprint
+  double bits_per_posting = 0.0;
+};
+
+class InvertedIndex final : public PostingSource {
+ public:
+  InvertedIndex() : directory_(kMinIntervalLengthForCtor) {}
+
+  const IndexOptions& options() const override { return options_; }
+  uint32_t num_docs() const override {
+    return static_cast<uint32_t>(doc_lengths_.size());
+  }
+  uint32_t doc_length(uint32_t doc) const { return doc_lengths_[doc]; }
+  const std::vector<uint32_t>& doc_lengths() const { return doc_lengths_; }
+
+  /// Directory entry for `term`, or nullptr if the term is unindexed
+  /// (never occurred, or stopped).
+  const TermEntry* FindTerm(uint32_t term) const override {
+    return directory_.Find(term);
+  }
+
+  /// PostingSource implementation (type-erased callback); prefer the
+  /// ForEachPosting template when the callee type is known statically.
+  void ScanPostings(uint32_t term,
+                    const PostingCallback& fn) const override {
+    ForEachPosting(term, fn);
+  }
+
+  /// Streams the postings of `term`:
+  /// fn(doc, tf, positions, npos); positions is nullptr at document
+  /// granularity. No-op for unindexed terms. Not thread-safe (reuses an
+  /// internal position buffer).
+  template <typename Fn>
+  void ForEachPosting(uint32_t term, Fn&& fn) const {
+    const TermEntry* e = directory_.Find(term);
+    if (e == nullptr) return;
+    DecodePostings(blob_.data(), blob_.size(), e->bit_offset, *e,
+                   num_docs(), options_.granularity, &pos_buf_,
+                   std::forward<Fn>(fn));
+  }
+
+  const TermDirectory& directory() const { return directory_; }
+
+  const IndexStats& stats() const { return stats_; }
+
+  /// Serialized size in bytes (same as what Save writes).
+  uint64_t SerializedBytes() const;
+
+  void Serialize(std::string* out) const;
+  static Result<InvertedIndex> Deserialize(std::string_view data);
+  Status Save(const std::string& path) const;
+  static Result<InvertedIndex> Load(const std::string& path);
+
+ private:
+  friend class IndexBuilder;
+  friend Result<InvertedIndex> MergeIndexes(
+      const std::vector<const InvertedIndex*>& shards,
+      const std::vector<uint32_t>& doc_offsets);
+
+  // TermDirectory has no default constructor; a freshly constructed index
+  // holds an empty directory at the smallest length until Build/Load
+  // replaces it.
+  static constexpr int kMinIntervalLengthForCtor = 4;
+
+  IndexOptions options_;
+  std::vector<uint32_t> doc_lengths_;
+  TermDirectory directory_;
+  std::vector<uint8_t> blob_;
+  IndexStats stats_;
+  mutable std::vector<uint32_t> pos_buf_;
+  mutable uint64_t serialized_bytes_cache_ = 0;
+};
+
+/// Builds indexes over collections.
+class IndexBuilder {
+ public:
+  static Result<InvertedIndex> Build(const SequenceCollection& collection,
+                                     const IndexOptions& options);
+
+  /// Builds over the sub-range of sequences [doc_begin, doc_end);
+  /// document ids in the result are local (0-based within the range).
+  /// Used by the sharded construction path (index_merge.h).
+  static Result<InvertedIndex> BuildRange(
+      const SequenceCollection& collection, const IndexOptions& options,
+      uint32_t doc_begin, uint32_t doc_end);
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,47 @@
+// PostingSource: the interface the coarse search phase consumes.
+//
+// Two implementations exist: InvertedIndex (everything resident in
+// memory) and DiskIndex (directory in memory, postings read from disk on
+// demand with an LRU cache) — the configuration the CAFE system actually
+// shipped, where the index is much larger than main memory and "index-
+// based approaches do not rely on the entire collection fitting into
+// main memory".
+
+#ifndef CAFE_INDEX_POSTING_SOURCE_H_
+#define CAFE_INDEX_POSTING_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "index/postings.h"
+#include "index/vocabulary.h"
+
+namespace cafe {
+
+struct IndexOptions;
+
+/// Callback invoked once per posting entry:
+/// (doc, tf, positions, npos); positions is nullptr at document
+/// granularity.
+using PostingCallback =
+    std::function<void(uint32_t, uint32_t, const uint32_t*, uint32_t)>;
+
+class PostingSource {
+ public:
+  virtual ~PostingSource() = default;
+
+  virtual const IndexOptions& options() const = 0;
+  virtual uint32_t num_docs() const = 0;
+
+  /// Directory entry for `term`; nullptr if unindexed.
+  virtual const TermEntry* FindTerm(uint32_t term) const = 0;
+
+  /// Streams the postings of `term` through `fn`; no-op for unindexed
+  /// terms. Not required to be thread-safe.
+  virtual void ScanPostings(uint32_t term, const PostingCallback& fn)
+      const = 0;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_INDEX_POSTING_SOURCE_H_

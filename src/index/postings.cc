@@ -1,0 +1,71 @@
+#include "index/postings.h"
+
+#include <cassert>
+
+namespace cafe {
+
+uint32_t EncodePostings(const uint32_t* docs, const uint32_t* positions,
+                        size_t count, uint32_t num_docs,
+                        IndexGranularity granularity, BitWriter* w,
+                        uint32_t* position_param) {
+  assert(count > 0);
+
+  // First scan: distinct docs, and the statistics for the position-gap
+  // parameter (sum of the values that will actually be Golomb coded).
+  uint32_t doc_count = 0;
+  uint64_t pos_value_sum = 0;
+  for (size_t i = 0; i < count; ++i) {
+    bool new_doc = (i == 0) || docs[i] != docs[i - 1];
+    if (new_doc) ++doc_count;
+    if (granularity == IndexGranularity::kPositional) {
+      uint64_t v = new_doc ? static_cast<uint64_t>(positions[i]) + 1
+                           : static_cast<uint64_t>(positions[i]) -
+                                 positions[i - 1];
+      pos_value_sum += v;
+    }
+  }
+
+  uint64_t b_pos = 1;
+  if (granularity == IndexGranularity::kPositional) {
+    b_pos = coding::OptimalGolombParameter(count, pos_value_sum);
+  }
+  *position_param = static_cast<uint32_t>(b_pos);
+
+  const uint64_t b_doc = coding::OptimalGolombParameter(doc_count, num_docs);
+
+  size_t i = 0;
+  uint32_t prev_doc = 0;
+  bool first_doc = true;
+  while (i < count) {
+    uint32_t doc = docs[i];
+    size_t j = i;
+    while (j < count && docs[j] == doc) ++j;
+    uint32_t tf = static_cast<uint32_t>(j - i);
+
+    uint64_t gap = first_doc ? static_cast<uint64_t>(doc) + 1
+                             : static_cast<uint64_t>(doc) - prev_doc;
+    coding::EncodeGolomb(w, gap, b_doc);
+    coding::EncodeGamma(w, tf);
+
+    if (granularity == IndexGranularity::kPositional) {
+      uint32_t prev_pos = 0;
+      bool first_pos = true;
+      for (size_t k = i; k < j; ++k) {
+        uint64_t v = first_pos ? static_cast<uint64_t>(positions[k]) + 1
+                               : static_cast<uint64_t>(positions[k]) -
+                                     prev_pos;
+        assert(v >= 1);
+        coding::EncodeGolomb(w, v, b_pos);
+        prev_pos = positions[k];
+        first_pos = false;
+      }
+    }
+
+    prev_doc = doc;
+    first_doc = false;
+    i = j;
+  }
+  return doc_count;
+}
+
+}  // namespace cafe

@@ -1,0 +1,66 @@
+#include "index/vocabulary.h"
+
+#include <algorithm>
+
+#include "index/interval.h"
+
+namespace cafe {
+
+TermDirectory::TermDirectory(int interval_length)
+    : interval_length_(interval_length),
+      dense_(interval_length <= kDenseLimit) {
+  if (dense_) {
+    dense_entries_.resize(VocabularyUniverse(interval_length));
+  }
+}
+
+const TermEntry* TermDirectory::Find(uint32_t term) const {
+  if (dense_) {
+    if (term >= dense_entries_.size()) return nullptr;
+    const TermEntry& e = dense_entries_[term];
+    return e.posting_count > 0 ? &e : nullptr;
+  }
+  auto it = sparse_entries_.find(term);
+  return it == sparse_entries_.end() ? nullptr : &it->second;
+}
+
+TermEntry* TermDirectory::FindOrCreate(uint32_t term) {
+  if (dense_) {
+    TermEntry& e = dense_entries_[term];
+    if (e.posting_count == 0) ++num_terms_;
+    return &e;
+  }
+  auto [it, inserted] = sparse_entries_.try_emplace(term);
+  if (inserted) ++num_terms_;
+  return &it->second;
+}
+
+void TermDirectory::Erase(uint32_t term) {
+  if (dense_) {
+    if (term < dense_entries_.size() &&
+        dense_entries_[term].posting_count > 0) {
+      dense_entries_[term] = TermEntry{};
+      --num_terms_;
+    }
+  } else {
+    num_terms_ -= sparse_entries_.erase(term);
+  }
+}
+
+uint64_t TermDirectory::MemoryBytes() const {
+  if (dense_) return dense_entries_.size() * sizeof(TermEntry);
+  // Rough hash-node estimate: entry + key + bucket overhead.
+  return sparse_entries_.size() * (sizeof(TermEntry) + 24);
+}
+
+std::vector<uint32_t> TermDirectory::SortedSparseTerms() const {
+  std::vector<uint32_t> terms;
+  terms.reserve(sparse_entries_.size());
+  for (const auto& [t, e] : sparse_entries_) {
+    if (e.posting_count > 0) terms.push_back(t);
+  }
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+}  // namespace cafe

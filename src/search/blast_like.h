@@ -1,0 +1,43 @@
+// BlastLikeSearch — a scan-based seed-and-extend baseline in the style of
+// BLAST 1 (Altschul et al., 1990): hash the query's words, scan every
+// collection sequence for word hits, extend hits ungapped with an X-drop,
+// and run a banded gapped alignment where the ungapped segment is strong.
+// No index: the whole collection is read on every query, which is exactly
+// the cost profile the paper's partitioned approach removes.
+
+#ifndef CAFE_SEARCH_BLAST_LIKE_H_
+#define CAFE_SEARCH_BLAST_LIKE_H_
+
+#include "collection/collection.h"
+#include "search/engine.h"
+
+namespace cafe {
+
+struct BlastLikeParams {
+  /// Word (seed) length; BLASTN's classic default is 11.
+  int seed_length = 11;
+  /// X-drop threshold for ungapped extension, in score units.
+  int xdrop = 20;
+  /// Ungapped score that triggers a gapped (banded) alignment.
+  int gapped_trigger = 40;
+};
+
+class BlastLikeSearch final : public SearchEngine {
+ public:
+  explicit BlastLikeSearch(const SequenceCollection* collection,
+                           const BlastLikeParams& params = BlastLikeParams())
+      : collection_(collection), params_(params) {}
+
+  std::string name() const override { return "blast-like"; }
+
+  Result<SearchResult> Search(std::string_view query,
+                              const SearchOptions& options) override;
+
+ private:
+  const SequenceCollection* collection_;
+  BlastLikeParams params_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SEARCH_BLAST_LIKE_H_

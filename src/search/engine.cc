@@ -1,0 +1,105 @@
+#include "search/engine.h"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+
+#include "alphabet/nucleotide.h"
+
+namespace cafe {
+namespace {
+
+// Min-heap comparator: the *worst* hit sits at the front. A hit is worse
+// when its score is lower, or equal-scored with a higher seq_id (so ties
+// prefer keeping lower ids, matching a stable full sort).
+bool WorseFirst(const SearchHit& a, const SearchHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.seq_id < b.seq_id;
+}
+
+}  // namespace
+
+void SearchStats::Accumulate(const SearchStats& other) {
+  coarse_seconds += other.coarse_seconds;
+  fine_seconds += other.fine_seconds;
+  total_seconds += other.total_seconds;
+  candidates_ranked += other.candidates_ranked;
+  candidates_aligned += other.candidates_aligned;
+  cells_computed += other.cells_computed;
+  postings_decoded += other.postings_decoded;
+}
+
+void TopHits::Add(SearchHit hit) {
+  if (limit_ == 0) return;
+  if (heap_.size() < limit_) {
+    heap_.push_back(std::move(hit));
+    std::push_heap(heap_.begin(), heap_.end(), WorseFirst);
+    return;
+  }
+  const SearchHit& worst = heap_.front();
+  if (hit.score < worst.score ||
+      (hit.score == worst.score && hit.seq_id > worst.seq_id)) {
+    return;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), WorseFirst);
+  heap_.back() = std::move(hit);
+  std::push_heap(heap_.begin(), heap_.end(), WorseFirst);
+}
+
+int TopHits::Floor() const {
+  if (heap_.size() < limit_ || heap_.empty()) return INT_MIN;
+  return heap_.front().score;
+}
+
+Result<SearchResult> SearchWithStrands(SearchEngine* engine,
+                                       std::string_view query,
+                                       const SearchOptions& options) {
+  Result<SearchResult> forward = engine->Search(query, options);
+  if (!forward.ok() || !options.search_both_strands) return forward;
+
+  std::string rc = ReverseComplement(query);
+  Result<SearchResult> reverse = engine->Search(rc, options);
+  if (!reverse.ok()) return reverse.status();
+
+  SearchResult merged;
+  TopHits top(options.max_results);
+  for (SearchHit& hit : forward->hits) {
+    hit.strand = Strand::kForward;
+    top.Add(std::move(hit));
+  }
+  for (SearchHit& hit : reverse->hits) {
+    hit.strand = Strand::kReverse;
+    top.Add(std::move(hit));
+  }
+  merged.hits = top.Take();
+  merged.stats = forward->stats;
+  merged.stats.Accumulate(reverse->stats);
+  return merged;
+}
+
+void AnnotateStatistics(SearchResult* result, uint64_t query_length,
+                        uint64_t database_bases,
+                        const GumbelParams& params) {
+  if (params.lambda <= 0 || params.k <= 0) return;
+  const double ln2 = 0.6931471805599453;
+  const double mn = static_cast<double>(query_length) *
+                    static_cast<double>(database_bases);
+  for (SearchHit& hit : result->hits) {
+    hit.bit_score =
+        (params.lambda * hit.score - std::log(params.k)) / ln2;
+    hit.evalue = params.k * mn * std::exp(-params.lambda * hit.score);
+  }
+}
+
+std::vector<SearchHit> TopHits::Take() {
+  std::vector<SearchHit> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), [](const SearchHit& a,
+                                       const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.seq_id < b.seq_id;
+  });
+  return out;
+}
+
+}  // namespace cafe

@@ -1,0 +1,170 @@
+// Common search-engine interface, options, results and statistics.
+//
+// Every engine answers the same question — "which sequences in the
+// collection have a high-quality local alignment with this query?" — so
+// the partitioned (indexed) engine and the exhaustive baselines are
+// interchangeable behind SearchEngine, which is what the effectiveness
+// and timing experiments exploit.
+
+#ifndef CAFE_SEARCH_ENGINE_H_
+#define CAFE_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/alignment.h"
+#include "align/scoring.h"
+#include "align/statistics.h"
+#include "util/status.h"
+
+namespace cafe {
+
+/// Which strand of the query a hit was found on.
+enum class Strand : uint8_t {
+  kForward,
+  kReverse,  // the hit matches the reverse complement of the query
+};
+
+/// How the coarse phase ranks candidate sequences.
+enum class CoarseRankMode {
+  /// Bag-of-intervals: count matching intervals per sequence.
+  kHitCount,
+  /// Frame/diagonal evidence: count interval hits that agree on an
+  /// alignment diagonal (requires a positional index); far more selective
+  /// for gapped-but-collinear homology.
+  kDiagonal,
+};
+
+struct SearchOptions {
+  /// Number of hits to report.
+  uint32_t max_results = 20;
+
+  /// Partitioned search only: how many coarse candidates receive fine
+  /// (alignment) scoring. The accuracy/time dial of experiment E4.
+  uint32_t fine_candidates = 100;
+
+  /// Half-width of the banded fine alignment around the coarse diagonal.
+  int band = 48;
+
+  /// Width of a coarse diagonal frame (positions); hits whose diagonals
+  /// fall in the same or adjacent frames are combined.
+  uint32_t frame_width = 16;
+
+  CoarseRankMode coarse_mode = CoarseRankMode::kDiagonal;
+
+  /// Populate LocalAlignment (with traceback) for reported hits.
+  bool traceback = false;
+
+  /// Hits scoring below this are not reported.
+  int min_score = 1;
+
+  /// Partitioned search only: re-score the reported hits with full
+  /// (unbanded) Smith-Waterman after banded candidate scoring, so
+  /// reported scores are never clipped by the band. Costs one full DP
+  /// per reported hit.
+  bool rescore_full = false;
+
+  /// When set, SearchWithStrands also evaluates the reverse complement
+  /// of the query and merges hits from both strands.
+  bool search_both_strands = false;
+
+  /// When present, hits are annotated with bit scores and E-values
+  /// (against the collection's total base count). Obtain parameters from
+  /// align/statistics.h (UngappedLambda / CalibrateGumbel).
+  std::optional<GumbelParams> statistics;
+
+  ScoringScheme scoring;
+};
+
+struct SearchHit {
+  uint32_t seq_id = 0;
+  /// Fine (local alignment) score.
+  int score = 0;
+  /// Coarse-phase evidence (0 when the engine has no coarse phase).
+  double coarse_score = 0.0;
+  /// Strand of the query this hit matches (always kForward unless
+  /// searched via SearchWithStrands with search_both_strands set). For
+  /// reverse hits, alignment coordinates refer to the reverse complement
+  /// of the query.
+  Strand strand = Strand::kForward;
+  /// Normalized score and expectation; populated when
+  /// SearchOptions::statistics is set (otherwise 0 and -1).
+  double bit_score = 0.0;
+  double evalue = -1.0;
+  /// Populated when SearchOptions::traceback is set.
+  LocalAlignment alignment;
+};
+
+struct SearchStats {
+  double coarse_seconds = 0.0;
+  double fine_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Sequences with non-zero coarse evidence.
+  uint64_t candidates_ranked = 0;
+  /// Sequences that received fine (DP) scoring.
+  uint64_t candidates_aligned = 0;
+  /// DP cells computed by the aligner.
+  uint64_t cells_computed = 0;
+  /// Postings entries decoded from the index.
+  uint64_t postings_decoded = 0;
+
+  void Accumulate(const SearchStats& other);
+};
+
+struct SearchResult {
+  std::vector<SearchHit> hits;  // sorted by descending score
+  SearchStats stats;
+};
+
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Finds the best-aligning sequences for `query` (normalized IUPAC).
+  virtual Result<SearchResult> Search(std::string_view query,
+                                      const SearchOptions& options) = 0;
+};
+
+/// Evaluates the query through `engine`, and — when
+/// options.search_both_strands is set — also its reverse complement,
+/// merging both strands' hits into one ranking of options.max_results.
+/// Statistics from both passes are accumulated.
+Result<SearchResult> SearchWithStrands(SearchEngine* engine,
+                                       std::string_view query,
+                                       const SearchOptions& options);
+
+/// Annotates every hit with bit score and E-value under `params`,
+/// using the classic Karlin-Altschul relations
+///   bits = (lambda * S - ln K) / ln 2
+///   E    = K * m * n * exp(-lambda * S).
+void AnnotateStatistics(SearchResult* result, uint64_t query_length,
+                        uint64_t database_bases, const GumbelParams& params);
+
+/// Keeps the `limit` highest-scoring hits; ties broken by lower seq_id.
+class TopHits {
+ public:
+  explicit TopHits(uint32_t limit) : limit_(limit) {}
+
+  void Add(SearchHit hit);
+
+  /// Lowest score currently retained (INT_MIN until full).
+  int Floor() const;
+
+  /// Extracts hits in descending score order.
+  std::vector<SearchHit> Take();
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  uint32_t limit_;
+  std::vector<SearchHit> heap_;  // min-heap on (score, -seq_id)
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SEARCH_ENGINE_H_

@@ -1,0 +1,53 @@
+#include "search/exhaustive.h"
+
+#include "align/smith_waterman.h"
+#include "util/timer.h"
+
+namespace cafe {
+
+Result<SearchResult> ExhaustiveSearch::Search(std::string_view query,
+                                              const SearchOptions& options) {
+  CAFE_RETURN_IF_ERROR(options.scoring.Validate());
+  if (query.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+
+  WallTimer total;
+  SearchResult result;
+  Aligner aligner(options.scoring);
+  TopHits top(options.max_results);
+  std::string seq;
+  const uint32_t num_docs = collection_->NumSequences();
+  for (uint32_t doc = 0; doc < num_docs; ++doc) {
+    CAFE_RETURN_IF_ERROR(collection_->GetSequence(doc, &seq));
+    int score = aligner.ScoreOnly(query, seq);
+    ++result.stats.candidates_aligned;
+    if (score < options.min_score) continue;
+    SearchHit hit;
+    hit.seq_id = doc;
+    hit.score = score;
+    top.Add(std::move(hit));
+  }
+  result.hits = top.Take();
+
+  if (options.traceback) {
+    for (SearchHit& hit : result.hits) {
+      CAFE_RETURN_IF_ERROR(collection_->GetSequence(hit.seq_id, &seq));
+      Result<LocalAlignment> aln = aligner.Align(query, seq);
+      if (!aln.ok()) return aln.status();
+      hit.alignment = std::move(*aln);
+    }
+  }
+
+  result.stats.candidates_ranked = num_docs;
+  result.stats.cells_computed = aligner.cells_computed();
+  result.stats.fine_seconds = total.Seconds();
+  result.stats.total_seconds = result.stats.fine_seconds;
+  if (options.statistics.has_value()) {
+    AnnotateStatistics(&result, query.size(), collection_->TotalBases(),
+                       *options.statistics);
+  }
+  return result;
+}
+
+}  // namespace cafe

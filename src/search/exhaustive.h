@@ -1,0 +1,30 @@
+// ExhaustiveSearch — the oracle baseline: full Smith-Waterman dynamic
+// programming against every sequence in the collection. This is the
+// "exhaustive search technique" of the paper's abstract; its ranking also
+// serves as the ground truth for the retrieval-effectiveness experiment.
+
+#ifndef CAFE_SEARCH_EXHAUSTIVE_H_
+#define CAFE_SEARCH_EXHAUSTIVE_H_
+
+#include "collection/collection.h"
+#include "search/engine.h"
+
+namespace cafe {
+
+class ExhaustiveSearch final : public SearchEngine {
+ public:
+  explicit ExhaustiveSearch(const SequenceCollection* collection)
+      : collection_(collection) {}
+
+  std::string name() const override { return "exhaustive-sw"; }
+
+  Result<SearchResult> Search(std::string_view query,
+                              const SearchOptions& options) override;
+
+ private:
+  const SequenceCollection* collection_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SEARCH_EXHAUSTIVE_H_

@@ -1,0 +1,97 @@
+#include "search/fasta_like.h"
+
+#include "align/smith_waterman.h"
+#include "index/interval.h"
+#include "util/timer.h"
+
+namespace cafe {
+
+Result<SearchResult> FastaLikeSearch::Search(std::string_view query,
+                                             const SearchOptions& options) {
+  CAFE_RETURN_IF_ERROR(options.scoring.Validate());
+  const int k = params_.ktup;
+  if (k < kMinIntervalLength || k > 12) {
+    return Status::InvalidArgument("ktup out of range");
+  }
+  if (query.size() < static_cast<size_t>(k)) {
+    return Status::InvalidArgument("query shorter than ktup");
+  }
+
+  WallTimer total;
+  SearchResult result;
+  Aligner aligner(options.scoring);
+  TopHits top(options.max_results);
+
+  // Dense k-tuple lookup: term -> query positions.
+  std::vector<std::vector<uint32_t>> lookup(VocabularyUniverse(k));
+  ForEachInterval(query, k, /*stride=*/1,
+                  [&](uint32_t pos, uint32_t term) {
+                    lookup[term].push_back(pos);
+                  });
+
+  const int64_t qlen = static_cast<int64_t>(query.size());
+  std::vector<uint32_t> histo;
+  std::vector<int64_t> touched;
+  std::string seq;
+  const uint32_t num_docs = collection_->NumSequences();
+  for (uint32_t doc = 0; doc < num_docs; ++doc) {
+    CAFE_RETURN_IF_ERROR(collection_->GetSequence(doc, &seq));
+
+    // Diagonal histogram (FASTA init phase).
+    const size_t diag_range = query.size() + seq.size();
+    if (histo.size() < diag_range) histo.resize(diag_range, 0);
+    touched.clear();
+    ForEachInterval(seq, k, /*stride=*/1, [&](uint32_t tpos, uint32_t term) {
+      const std::vector<uint32_t>& qpositions = lookup[term];
+      for (uint32_t qpos : qpositions) {
+        int64_t idx = static_cast<int64_t>(tpos) - qpos + qlen;
+        if (histo[idx]++ == 0) touched.push_back(idx);
+      }
+    });
+
+    uint32_t best_hits = 0;
+    int64_t best_diag = 0;
+    for (int64_t idx : touched) {
+      if (histo[idx] > best_hits) {
+        best_hits = histo[idx];
+        best_diag = idx - qlen;
+      }
+    }
+    for (int64_t idx : touched) histo[idx] = 0;
+
+    if (best_hits < params_.min_diagonal_hits) continue;
+    ++result.stats.candidates_ranked;
+
+    // Rescore the best region with a banded alignment (FASTA opt phase).
+    int score = aligner.BandedScore(query, seq, best_diag, options.band);
+    ++result.stats.candidates_aligned;
+    if (score < options.min_score) continue;
+
+    SearchHit hit;
+    hit.seq_id = doc;
+    hit.score = score;
+    hit.coarse_score = best_hits;
+    top.Add(std::move(hit));
+  }
+  result.hits = top.Take();
+
+  if (options.traceback) {
+    for (SearchHit& hit : result.hits) {
+      CAFE_RETURN_IF_ERROR(collection_->GetSequence(hit.seq_id, &seq));
+      Result<LocalAlignment> aln = aligner.Align(query, seq);
+      if (!aln.ok()) return aln.status();
+      hit.alignment = std::move(*aln);
+    }
+  }
+
+  result.stats.cells_computed = aligner.cells_computed();
+  result.stats.fine_seconds = total.Seconds();
+  result.stats.total_seconds = result.stats.fine_seconds;
+  if (options.statistics.has_value()) {
+    AnnotateStatistics(&result, query.size(), collection_->TotalBases(),
+                       *options.statistics);
+  }
+  return result;
+}
+
+}  // namespace cafe

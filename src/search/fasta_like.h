@@ -1,0 +1,40 @@
+// FastaLikeSearch — a scan-based diagonal-histogram baseline in the style
+// of FASTA (Pearson & Lipman, 1988): short k-tuple lookups build a
+// per-sequence diagonal histogram; the densest diagonal region is then
+// rescored with a banded alignment. Like the BLAST-like engine it reads
+// the entire collection per query.
+
+#ifndef CAFE_SEARCH_FASTA_LIKE_H_
+#define CAFE_SEARCH_FASTA_LIKE_H_
+
+#include "collection/collection.h"
+#include "search/engine.h"
+
+namespace cafe {
+
+struct FastaLikeParams {
+  /// k-tuple length (FASTA's ktup; 6 is the classic nucleotide choice).
+  int ktup = 6;
+  /// Minimum diagonal hit count for a sequence to be rescored.
+  uint32_t min_diagonal_hits = 2;
+};
+
+class FastaLikeSearch final : public SearchEngine {
+ public:
+  explicit FastaLikeSearch(const SequenceCollection* collection,
+                           const FastaLikeParams& params = FastaLikeParams())
+      : collection_(collection), params_(params) {}
+
+  std::string name() const override { return "fasta-like"; }
+
+  Result<SearchResult> Search(std::string_view query,
+                              const SearchOptions& options) override;
+
+ private:
+  const SequenceCollection* collection_;
+  FastaLikeParams params_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SEARCH_FASTA_LIKE_H_

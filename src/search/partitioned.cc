@@ -1,0 +1,98 @@
+#include "search/partitioned.h"
+
+#include <algorithm>
+
+#include "align/smith_waterman.h"
+#include "util/timer.h"
+
+namespace cafe {
+
+Result<SearchResult> PartitionedSearch::Search(std::string_view query,
+                                               const SearchOptions& options) {
+  CAFE_RETURN_IF_ERROR(options.scoring.Validate());
+  if (query.size() < static_cast<size_t>(index_->options().interval_length)) {
+    return Status::InvalidArgument(
+        "query shorter than the index interval length");
+  }
+
+  WallTimer total;
+  SearchResult result;
+
+  // Coarse phase: rank by interval evidence, keep the fine-search budget.
+  std::vector<CoarseCandidate> candidates = ranker_.Rank(
+      query, options.coarse_mode, options.fine_candidates,
+      options.frame_width, &result.stats);
+
+  // Fine phase: local alignment on the candidates only.
+  WallTimer fine;
+  Aligner aligner(options.scoring);
+  TopHits top(options.max_results);
+  std::string seq;
+  for (const CoarseCandidate& cand : candidates) {
+    CAFE_RETURN_IF_ERROR(collection_->GetSequence(cand.doc, &seq));
+    int score;
+    if (cand.has_diagonal) {
+      score = aligner.BandedScore(query, seq, cand.diagonal, options.band);
+    } else {
+      score = aligner.ScoreOnly(query, seq);
+    }
+    ++result.stats.candidates_aligned;
+    if (score < options.min_score) continue;
+    SearchHit hit;
+    hit.seq_id = cand.doc;
+    hit.score = score;
+    hit.coarse_score = cand.score;
+    top.Add(std::move(hit));
+  }
+  result.hits = top.Take();
+
+  if (options.rescore_full) {
+    // Remove band clipping from the reported scores: one full DP per
+    // reported hit (cheap — max_results sequences, not the collection).
+    for (SearchHit& hit : result.hits) {
+      CAFE_RETURN_IF_ERROR(collection_->GetSequence(hit.seq_id, &seq));
+      hit.score = aligner.ScoreOnly(query, seq);
+    }
+    std::sort(result.hits.begin(), result.hits.end(),
+              [](const SearchHit& a, const SearchHit& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.seq_id < b.seq_id;
+              });
+  }
+
+  if (options.traceback) {
+    for (SearchHit& hit : result.hits) {
+      CAFE_RETURN_IF_ERROR(collection_->GetSequence(hit.seq_id, &seq));
+      // Re-derive the candidate diagonal for a banded traceback; fall
+      // back to the full matrix when the coarse phase had no positions.
+      const CoarseCandidate* cand = nullptr;
+      for (const CoarseCandidate& c : candidates) {
+        if (c.doc == hit.seq_id) {
+          cand = &c;
+          break;
+        }
+      }
+      if (cand != nullptr && cand->has_diagonal) {
+        Result<LocalAlignment> aln =
+            aligner.BandedAlign(query, seq, cand->diagonal, options.band);
+        if (!aln.ok()) return aln.status();
+        hit.alignment = std::move(*aln);
+      } else {
+        Result<LocalAlignment> aln = aligner.Align(query, seq);
+        if (!aln.ok()) return aln.status();
+        hit.alignment = std::move(*aln);
+      }
+    }
+  }
+
+  result.stats.cells_computed += aligner.cells_computed();
+  result.stats.fine_seconds += fine.Seconds();
+  result.stats.total_seconds += total.Seconds();
+  if (options.statistics.has_value()) {
+    AnnotateStatistics(&result, query.size(), collection_->TotalBases(),
+                       *options.statistics);
+  }
+  return result;
+}
+
+}  // namespace cafe

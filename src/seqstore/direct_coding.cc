@@ -1,0 +1,265 @@
+#include "seqstore/direct_coding.h"
+
+#include <array>
+
+#include "alphabet/nucleotide.h"
+#include "coding/elias.h"
+#include "coding/golomb.h"
+#include "util/bitio.h"
+
+namespace cafe {
+namespace {
+
+// 256-entry expansion table: byte of four 2-bit codes -> four base chars.
+struct ExpandTable {
+  std::array<std::array<char, 4>, 256> rows;
+  ExpandTable() {
+    for (int b = 0; b < 256; ++b) {
+      rows[b][0] = CodeToBase((b >> 6) & 3);
+      rows[b][1] = CodeToBase((b >> 4) & 3);
+      rows[b][2] = CodeToBase((b >> 2) & 3);
+      rows[b][3] = CodeToBase(b & 3);
+    }
+  }
+};
+
+const ExpandTable& Expander() {
+  static const ExpandTable table;
+  return table;
+}
+
+// First base in an ambiguity mask, as a 2-bit code.
+int MaskFirstBaseCode(uint8_t mask) {
+  for (int i = 0; i < 4; ++i) {
+    if (mask & (1u << i)) return i;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status DirectEncodeAppend(std::string_view seq, std::vector<uint8_t>* out) {
+  const size_t n = seq.size();
+
+  // Collect wildcard exceptions first.
+  std::vector<uint32_t> positions;
+  std::vector<uint8_t> masks;
+  for (size_t i = 0; i < n; ++i) {
+    char c = seq[i];
+    if (BaseToCode(c) >= 0) continue;
+    uint8_t mask = IupacMask(c);
+    if (mask == 0) {
+      return Status::InvalidArgument(
+          std::string("non-IUPAC character '") + c + "' at position " +
+          std::to_string(i));
+    }
+    positions.push_back(static_cast<uint32_t>(i));
+    masks.push_back(mask);
+  }
+
+  BitWriter w;
+  coding::EncodeGamma(&w, static_cast<uint64_t>(n) + 1);
+  coding::EncodeGamma(&w, static_cast<uint64_t>(positions.size()) + 1);
+  if (!positions.empty()) {
+    uint64_t b = coding::OptimalGolombParameter(positions.size(), n);
+    uint64_t prev = 0;
+    for (uint32_t p : positions) {
+      coding::EncodeGolomb(&w, p + 1 - prev, b);
+      prev = p + 1;
+    }
+    for (uint8_t m : masks) w.WriteBits(m, 4);
+  }
+  w.AlignToByte();
+
+  // Byte-aligned 2-bit payload.
+  uint8_t acc = 0;
+  int filled = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int code = BaseToCode(seq[i]);
+    if (code < 0) code = MaskFirstBaseCode(IupacMask(seq[i]));
+    acc = static_cast<uint8_t>((acc << 2) | code);
+    if (++filled == 4) {
+      w.WriteBits(acc, 8);
+      acc = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) {
+    acc = static_cast<uint8_t>(acc << (2 * (4 - filled)));
+    w.WriteBits(acc, 8);
+  }
+
+  std::vector<uint8_t> bytes = w.Finish();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+  return Status::OK();
+}
+
+Status DirectDecode(const uint8_t* data, size_t size, std::string* out) {
+  BitReader r(data, size);
+  uint64_t n = coding::DecodeGamma(&r) - 1;
+  uint64_t w = coding::DecodeGamma(&r) - 1;
+  if (r.overflowed() || w > n) {
+    return Status::Corruption("direct coding: bad header");
+  }
+  // Each exception costs several bits, so w can never exceed the input's
+  // bit count; reject before sizing the exception arrays (guards decode
+  // of adversarial buffers against huge allocations).
+  if (w > size * 8) {
+    return Status::Corruption("direct coding: exception count too large");
+  }
+
+  std::vector<uint32_t> positions(w);
+  std::vector<uint8_t> masks(w);
+  if (w > 0) {
+    uint64_t b = coding::OptimalGolombParameter(w, n);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < w; ++i) {
+      uint64_t gap = coding::DecodeGolomb(&r, b);
+      prev += gap;
+      if (prev > n) return Status::Corruption("direct coding: bad position");
+      positions[i] = static_cast<uint32_t>(prev - 1);
+    }
+    for (uint64_t i = 0; i < w; ++i) {
+      masks[i] = static_cast<uint8_t>(r.ReadBits(4));
+    }
+  }
+  r.AlignToByte();
+  if (r.overflowed()) {
+    return Status::Corruption("direct coding: truncated exceptions");
+  }
+
+  size_t payload_bytes = (n + 3) / 4;
+  size_t payload_start = r.bit_position() / 8;
+  if (payload_start + payload_bytes > size) {
+    return Status::Corruption("direct coding: truncated payload");
+  }
+
+  out->resize(n);
+  char* dst = out->data();
+  const uint8_t* src = data + payload_start;
+  const ExpandTable& table = Expander();
+  size_t full = n / 4;
+  for (size_t i = 0; i < full; ++i) {
+    const auto& row = table.rows[src[i]];
+    dst[0] = row[0];
+    dst[1] = row[1];
+    dst[2] = row[2];
+    dst[3] = row[3];
+    dst += 4;
+  }
+  size_t rem = n % 4;
+  if (rem != 0) {
+    const auto& row = table.rows[src[full]];
+    for (size_t j = 0; j < rem; ++j) dst[j] = row[j];
+  }
+
+  for (uint64_t i = 0; i < w; ++i) {
+    (*out)[positions[i]] = MaskToIupac(masks[i]);
+  }
+  return Status::OK();
+}
+
+Status DirectDecodeRange(const uint8_t* data, size_t size, size_t start,
+                         size_t count, std::string* out) {
+  BitReader r(data, size);
+  uint64_t n = coding::DecodeGamma(&r) - 1;
+  uint64_t w = coding::DecodeGamma(&r) - 1;
+  if (r.overflowed() || w > n || w > size * 8) {
+    return Status::Corruption("direct coding: bad header");
+  }
+  if (start + count > n) {
+    return Status::OutOfRange("range [" + std::to_string(start) + ", " +
+                              std::to_string(start + count) +
+                              ") exceeds sequence length " +
+                              std::to_string(n));
+  }
+
+  // Exceptions are in the header regardless; collect only those that
+  // fall inside the window.
+  std::vector<std::pair<uint32_t, uint8_t>> window_exceptions;
+  if (w > 0) {
+    uint64_t b = coding::OptimalGolombParameter(w, n);
+    std::vector<uint64_t> positions(w);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < w; ++i) {
+      prev += coding::DecodeGolomb(&r, b);
+      if (prev > n) return Status::Corruption("direct coding: bad position");
+      positions[i] = prev - 1;
+    }
+    for (uint64_t i = 0; i < w; ++i) {
+      uint8_t mask = static_cast<uint8_t>(r.ReadBits(4));
+      if (positions[i] >= start && positions[i] < start + count) {
+        window_exceptions.emplace_back(
+            static_cast<uint32_t>(positions[i] - start), mask);
+      }
+    }
+  }
+  r.AlignToByte();
+  if (r.overflowed()) {
+    return Status::Corruption("direct coding: truncated exceptions");
+  }
+
+  size_t payload_start = r.bit_position() / 8;
+  if (payload_start + (n + 3) / 4 > size) {
+    return Status::Corruption("direct coding: truncated payload");
+  }
+
+  out->resize(count);
+  const uint8_t* payload = data + payload_start;
+  const ExpandTable& table = Expander();
+  for (size_t i = 0; i < count; ++i) {
+    size_t base_index = start + i;
+    uint8_t byte = payload[base_index / 4];
+    (*out)[i] = table.rows[byte][base_index % 4];
+  }
+  for (const auto& [offset, mask] : window_exceptions) {
+    (*out)[offset] = MaskToIupac(mask);
+  }
+  return Status::OK();
+}
+
+Status DirectLocatePayload(const uint8_t* data, size_t size,
+                           size_t* length, size_t* payload_offset) {
+  BitReader r(data, size);
+  uint64_t n = coding::DecodeGamma(&r) - 1;
+  uint64_t w = coding::DecodeGamma(&r) - 1;
+  if (r.overflowed() || w > n || w > size * 8) {
+    return Status::Corruption("direct coding: bad header");
+  }
+  if (w > 0) {
+    uint64_t b = coding::OptimalGolombParameter(w, n);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < w; ++i) {
+      prev += coding::DecodeGolomb(&r, b);
+      if (prev > n) return Status::Corruption("direct coding: bad position");
+    }
+    r.SeekToBit(r.bit_position() + 4 * w);  // skip the IUPAC masks
+  }
+  r.AlignToByte();
+  if (r.overflowed()) {
+    return Status::Corruption("direct coding: truncated exceptions");
+  }
+  size_t start = r.bit_position() / 8;
+  if (start + (n + 3) / 4 > size) {
+    return Status::Corruption("direct coding: truncated payload");
+  }
+  *length = static_cast<size_t>(n);
+  *payload_offset = start;
+  return Status::OK();
+}
+
+Status DirectDecodeLength(const uint8_t* data, size_t size, size_t* length) {
+  BitReader r(data, size);
+  uint64_t n = coding::DecodeGamma(&r) - 1;
+  if (r.overflowed()) return Status::Corruption("direct coding: bad header");
+  *length = static_cast<size_t>(n);
+  return Status::OK();
+}
+
+size_t DirectEncodedSize(std::string_view seq) {
+  std::vector<uint8_t> tmp;
+  Status s = DirectEncodeAppend(seq, &tmp);
+  return s.ok() ? tmp.size() : 0;
+}
+
+}  // namespace cafe

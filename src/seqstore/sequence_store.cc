@@ -1,0 +1,153 @@
+#include "seqstore/sequence_store.h"
+
+#include <cstring>
+
+#include "seqstore/direct_coding.h"
+#include "util/crc32.h"
+#include "util/env.h"
+
+namespace cafe {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'A', 'F', 'S', 'E', 'Q', '1', '\0'};
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+Result<uint32_t> SequenceStore::Append(std::string_view seq) {
+  Status s = DirectEncodeAppend(seq, &blob_);
+  if (!s.ok()) return s;
+  offsets_.push_back(blob_.size());
+  total_bases_ += seq.size();
+  return static_cast<uint32_t>(offsets_.size() - 2);
+}
+
+Status SequenceStore::Get(uint32_t id, std::string* out) const {
+  if (id + 1 >= offsets_.size()) {
+    return Status::NotFound("sequence id " + std::to_string(id));
+  }
+  uint64_t begin = offsets_[id];
+  uint64_t end = offsets_[id + 1];
+  return DirectDecode(blob_.data() + begin, end - begin, out);
+}
+
+Status SequenceStore::GetRange(uint32_t id, size_t start, size_t count,
+                               std::string* out) const {
+  if (id + 1 >= offsets_.size()) {
+    return Status::NotFound("sequence id " + std::to_string(id));
+  }
+  uint64_t begin = offsets_[id];
+  uint64_t end = offsets_[id + 1];
+  return DirectDecodeRange(blob_.data() + begin, end - begin, start, count,
+                           out);
+}
+
+Result<size_t> SequenceStore::Length(uint32_t id) const {
+  if (id + 1 >= offsets_.size()) {
+    return Status::NotFound("sequence id " + std::to_string(id));
+  }
+  size_t n = 0;
+  Status s = DirectDecodeLength(blob_.data() + offsets_[id],
+                                offsets_[id + 1] - offsets_[id], &n);
+  if (!s.ok()) return s;
+  return n;
+}
+
+Result<PackedView> SequenceStore::GetPackedView(uint32_t id) const {
+  if (id + 1 >= offsets_.size()) {
+    return Status::NotFound("sequence id " + std::to_string(id));
+  }
+  uint64_t begin = offsets_[id];
+  uint64_t end = offsets_[id + 1];
+  size_t length = 0, payload_offset = 0;
+  CAFE_RETURN_IF_ERROR(DirectLocatePayload(blob_.data() + begin,
+                                           end - begin, &length,
+                                           &payload_offset));
+  return PackedView(blob_.data() + begin + payload_offset, length);
+}
+
+void SequenceStore::Serialize(std::string* out) const {
+  out->clear();
+  out->append(kMagic, 8);
+  AppendU64(out, offsets_.size() - 1);  // sequence count
+  AppendU64(out, total_bases_);
+  AppendU64(out, blob_.size());
+  for (uint64_t off : offsets_) AppendU64(out, off);
+  out->append(reinterpret_cast<const char*>(blob_.data()), blob_.size());
+  uint32_t crc = Crc32(out->data(), out->size());
+  char buf[4];
+  std::memcpy(buf, &crc, 4);
+  out->append(buf, 4);
+}
+
+Result<SequenceStore> SequenceStore::Deserialize(std::string_view data) {
+  if (data.size() < 8 + 24 + 8 + 4) {
+    return Status::Corruption("sequence store: too short");
+  }
+  if (std::memcmp(data.data(), kMagic, 8) != 0) {
+    return Status::Corruption("sequence store: bad magic");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, data.data() + data.size() - 4, 4);
+  if (Crc32(data.data(), data.size() - 4) != stored_crc) {
+    return Status::Corruption("sequence store: checksum mismatch");
+  }
+
+  const char* p = data.data() + 8;
+  uint64_t count = ReadU64(p);
+  uint64_t total_bases = ReadU64(p + 8);
+  uint64_t blob_size = ReadU64(p + 16);
+  p += 24;
+  if (count > data.size() || blob_size > data.size()) {
+    return Status::Corruption("sequence store: counts too large");
+  }
+  uint64_t need = 8 + 24 + (count + 1) * 8 + blob_size + 4;
+  if (data.size() != need) {
+    return Status::Corruption("sequence store: size mismatch");
+  }
+
+  SequenceStore store;
+  store.offsets_.resize(count + 1);
+  for (uint64_t i = 0; i <= count; ++i) {
+    store.offsets_[i] = ReadU64(p);
+    p += 8;
+  }
+  if (store.offsets_[0] != 0 || store.offsets_[count] != blob_size) {
+    return Status::Corruption("sequence store: bad offsets");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    if (store.offsets_[i] > store.offsets_[i + 1]) {
+      return Status::Corruption("sequence store: unsorted offsets");
+    }
+  }
+  store.blob_.assign(reinterpret_cast<const uint8_t*>(p),
+                     reinterpret_cast<const uint8_t*>(p) + blob_size);
+  store.total_bases_ = total_bases;
+  return store;
+}
+
+Status SequenceStore::Save(const std::string& path) const {
+  std::string data;
+  Serialize(&data);
+  return WriteStringToFile(path, data);
+}
+
+Result<SequenceStore> SequenceStore::Load(const std::string& path) {
+  std::string data;
+  Status s = ReadFileToString(path, &data);
+  if (!s.ok()) return s;
+  return Deserialize(data);
+}
+
+}  // namespace cafe

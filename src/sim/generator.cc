@@ -1,0 +1,136 @@
+#include "sim/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "alphabet/nucleotide.h"
+#include "sim/mutation.h"
+
+namespace cafe::sim {
+namespace {
+
+// Wildcards drawn when wildcard_rate fires; N dominates in real data.
+constexpr char kWildcards[] = {'N', 'N', 'N', 'N', 'R', 'Y', 'S',
+                               'W', 'K', 'M', 'B', 'D', 'H', 'V'};
+constexpr size_t kNumWildcards = sizeof(kWildcards);
+
+}  // namespace
+
+Status CollectionOptions::Validate() const {
+  if (num_sequences == 0 && target_bases == 0) {
+    return Status::InvalidArgument("empty collection requested");
+  }
+  if (min_length == 0 || max_length < min_length) {
+    return Status::InvalidArgument("bad length bounds");
+  }
+  double total = 0;
+  for (double c : composition) {
+    if (c < 0) return Status::InvalidArgument("negative composition weight");
+    total += c;
+  }
+  if (total <= 0) {
+    return Status::InvalidArgument("composition weights sum to zero");
+  }
+  if (wildcard_rate < 0 || wildcard_rate > 0.5) {
+    return Status::InvalidArgument("wildcard_rate out of range");
+  }
+  if (repeat_fraction < 0 || repeat_fraction > 0.9) {
+    return Status::InvalidArgument("repeat_fraction out of range");
+  }
+  if (repeat_fraction > 0 &&
+      (repeat_library_size == 0 || repeat_length == 0)) {
+    return Status::InvalidArgument("empty repeat library requested");
+  }
+  if (repeat_divergence < 0 || repeat_divergence > 0.5) {
+    return Status::InvalidArgument("repeat_divergence out of range");
+  }
+  return Status::OK();
+}
+
+uint32_t CollectionGenerator::RandomLength() {
+  double len = rng_.NextLogNormal(options_.length_mu, options_.length_sigma);
+  len = std::clamp(len, static_cast<double>(options_.min_length),
+                   static_cast<double>(options_.max_length));
+  return static_cast<uint32_t>(len);
+}
+
+std::string CollectionGenerator::RandomSequence(uint32_t length) {
+  // Cumulative composition for inverse sampling.
+  double total = options_.composition[0] + options_.composition[1] +
+                 options_.composition[2] + options_.composition[3];
+  double cum[4];
+  double run = 0;
+  for (int i = 0; i < 4; ++i) {
+    run += options_.composition[i] / total;
+    cum[i] = run;
+  }
+
+  std::string out(length, 'A');
+  for (uint32_t i = 0; i < length; ++i) {
+    if (options_.wildcard_rate > 0 &&
+        rng_.Bernoulli(options_.wildcard_rate)) {
+      out[i] = kWildcards[rng_.Uniform(kNumWildcards)];
+      continue;
+    }
+    double u = rng_.NextDouble();
+    int code = 0;
+    while (code < 3 && u > cum[code]) ++code;
+    out[i] = CodeToBase(code);
+  }
+  return out;
+}
+
+const std::vector<std::string>& CollectionGenerator::RepeatLibrary() {
+  if (repeat_library_.empty() && options_.repeat_fraction > 0) {
+    for (uint32_t i = 0; i < options_.repeat_library_size; ++i) {
+      repeat_library_.push_back(RandomSequence(options_.repeat_length));
+    }
+  }
+  return repeat_library_;
+}
+
+std::string CollectionGenerator::RandomSequenceWithRepeats(uint32_t length) {
+  if (options_.repeat_fraction <= 0) return RandomSequence(length);
+  const std::vector<std::string>& library = RepeatLibrary();
+  MutationModel drift = MutationModel::ForDivergence(
+      options_.repeat_divergence);
+  std::string out;
+  out.reserve(length + options_.repeat_length);
+  while (out.size() < length) {
+    if (rng_.Bernoulli(options_.repeat_fraction)) {
+      const std::string& element =
+          library[rng_.Uniform(library.size())];
+      out += Mutate(element, drift, &rng_);
+    } else {
+      // Background stretch sized like a repeat element so the repeat
+      // fraction of bases tracks repeat_fraction.
+      out += RandomSequence(options_.repeat_length);
+    }
+  }
+  out.resize(length);
+  return out;
+}
+
+Result<SequenceCollection> CollectionGenerator::Generate() {
+  CAFE_RETURN_IF_ERROR(options_.Validate());
+  SequenceCollection col;
+  uint64_t bases = 0;
+  uint32_t i = 0;
+  while (true) {
+    if (options_.target_bases > 0) {
+      if (bases >= options_.target_bases) break;
+    } else if (i >= options_.num_sequences) {
+      break;
+    }
+    uint32_t len = RandomLength();
+    std::string seq = RandomSequenceWithRepeats(len);
+    std::string name = "SYN" + std::to_string(i);
+    Result<uint32_t> id = col.Add(name, "synthetic GenBank-like record", seq);
+    if (!id.ok()) return id.status();
+    bases += len;
+    ++i;
+  }
+  return col;
+}
+
+}  // namespace cafe::sim

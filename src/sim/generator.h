@@ -1,0 +1,96 @@
+// Synthetic GenBank-like collection generation.
+//
+// Real GenBank divisions have a log-normal-ish length distribution
+// (most records around a kilobase), skewed base composition (AT-rich),
+// and a sprinkling of IUPAC wildcards from sequencing ambiguity. The
+// generator reproduces those aggregate statistics so index size,
+// compression ratio and search cost behave like they would on the real
+// collection (DESIGN.md, "Data substitution").
+
+#ifndef CAFE_SIM_GENERATOR_H_
+#define CAFE_SIM_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "collection/collection.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cafe::sim {
+
+struct CollectionOptions {
+  /// Number of sequences; ignored when target_bases is non-zero.
+  uint32_t num_sequences = 1000;
+
+  /// When non-zero, keep generating sequences until the collection holds
+  /// at least this many bases (the way the scalability experiment sweeps
+  /// database size).
+  uint64_t target_bases = 0;
+
+  /// Log-normal length model: median ~ exp(mu). Defaults give a median
+  /// around 900 bases with a heavy right tail, GenBank-like.
+  double length_mu = 6.8;
+  double length_sigma = 0.6;
+  uint32_t min_length = 60;
+  uint32_t max_length = 50000;
+
+  /// Base composition (A, C, G, T); defaults are mildly AT-rich.
+  std::array<double, 4> composition = {0.30, 0.20, 0.20, 0.30};
+
+  /// Per-base probability of an IUPAC wildcard (GenBank-like ~2e-4).
+  double wildcard_rate = 0.0002;
+
+  /// Interspersed repeat model: real nucleotide collections are riddled
+  /// with repeated elements (Alu-like short interspersed repeats,
+  /// poly-A runs), which is where high-frequency intervals — the target
+  /// of index stopping — come from. `repeat_fraction` of all bases are
+  /// drawn from a small library of `repeat_library_size` shared elements
+  /// of length `repeat_length` (lightly mutated per insertion) instead of
+  /// from the i.i.d. background.
+  double repeat_fraction = 0.0;
+  uint32_t repeat_library_size = 4;
+  uint32_t repeat_length = 300;
+  double repeat_divergence = 0.05;
+
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+class CollectionGenerator {
+ public:
+  explicit CollectionGenerator(const CollectionOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Generates the full collection.
+  Result<SequenceCollection> Generate();
+
+  /// One random sequence of exactly `length` bases under the configured
+  /// composition and wildcard rate (no repeat insertion).
+  std::string RandomSequence(uint32_t length);
+
+  /// A sequence of approximately `length` bases including repeat-library
+  /// insertions per the configured repeat model. Equals RandomSequence
+  /// when repeat_fraction is 0.
+  std::string RandomSequenceWithRepeats(uint32_t length);
+
+  /// A random length drawn from the configured distribution.
+  uint32_t RandomLength();
+
+  Rng* rng() { return &rng_; }
+  const CollectionOptions& options() const { return options_; }
+
+ private:
+  /// Lazily built shared repeat elements.
+  const std::vector<std::string>& RepeatLibrary();
+
+  CollectionOptions options_;
+  Rng rng_;
+  std::vector<std::string> repeat_library_;
+};
+
+}  // namespace cafe::sim
+
+#endif  // CAFE_SIM_GENERATOR_H_

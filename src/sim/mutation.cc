@@ -1,0 +1,66 @@
+#include "sim/mutation.h"
+
+#include "alphabet/nucleotide.h"
+
+namespace cafe::sim {
+
+Status MutationModel::Validate() const {
+  if (substitution_rate < 0 || substitution_rate > 1 || insertion_rate < 0 ||
+      insertion_rate > 1 || deletion_rate < 0 || deletion_rate > 1) {
+    return Status::InvalidArgument("mutation rates must be in [0, 1]");
+  }
+  if (indel_extension < 0 || indel_extension >= 1) {
+    return Status::InvalidArgument("indel_extension must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+MutationModel MutationModel::ForDivergence(double divergence) {
+  MutationModel m;
+  m.substitution_rate = divergence * 0.8;
+  // Indels are rarer but multi-base; with extension p the mean length is
+  // 1/(1-p), so scale the start rate down accordingly.
+  double indel_budget = divergence * 0.2;
+  double mean_len = 1.0 / (1.0 - m.indel_extension);
+  m.insertion_rate = indel_budget / 2.0 / mean_len;
+  m.deletion_rate = indel_budget / 2.0 / mean_len;
+  return m;
+}
+
+std::string Mutate(std::string_view seq, const MutationModel& model,
+                   Rng* rng) {
+  std::string out;
+  out.reserve(seq.size() + seq.size() / 8);
+  size_t i = 0;
+  while (i < seq.size()) {
+    // Insertion before this base?
+    if (model.insertion_rate > 0 && rng->Bernoulli(model.insertion_rate)) {
+      size_t len = 1 + rng->NextGeometric(1.0 - model.indel_extension);
+      for (size_t k = 0; k < len; ++k) {
+        out.push_back(CodeToBase(static_cast<int>(rng->Uniform(4))));
+      }
+    }
+    // Deletion of a run starting here?
+    if (model.deletion_rate > 0 && rng->Bernoulli(model.deletion_rate)) {
+      size_t len = 1 + rng->NextGeometric(1.0 - model.indel_extension);
+      i += len;
+      continue;
+    }
+    char c = seq[i];
+    if (model.substitution_rate > 0 &&
+        rng->Bernoulli(model.substitution_rate)) {
+      int old_code = BaseToCode(c);
+      if (old_code >= 0) {
+        // Substitute with one of the three other bases.
+        int code = static_cast<int>(rng->Uniform(3));
+        if (code >= old_code) ++code;
+        c = CodeToBase(code);
+      }
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace cafe::sim

@@ -1,0 +1,42 @@
+// Sequence mutation model: point substitutions plus geometric-length
+// indels. Used to derive homologous sequences (and noisy queries) at a
+// controlled evolutionary divergence, which gives the retrieval
+// experiments an exact ground truth — the substitute for GenBank's real
+// homologies documented in DESIGN.md.
+
+#ifndef CAFE_SIM_MUTATION_H_
+#define CAFE_SIM_MUTATION_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cafe::sim {
+
+struct MutationModel {
+  /// Per-base probability of a substitution to a different base.
+  double substitution_rate = 0.05;
+  /// Per-base probability of starting an insertion before this base.
+  double insertion_rate = 0.005;
+  /// Per-base probability of deleting this base (and possibly more).
+  double deletion_rate = 0.005;
+  /// Indel lengths are 1 + Geometric(1 - indel_extension): higher means
+  /// longer indels.
+  double indel_extension = 0.3;
+
+  Status Validate() const;
+
+  /// A model whose expected per-base divergence (substitutions + indels)
+  /// is approximately `divergence`, split 80% substitutions / 20% indels.
+  static MutationModel ForDivergence(double divergence);
+};
+
+/// Returns a mutated copy of `seq`.
+std::string Mutate(std::string_view seq, const MutationModel& model,
+                   Rng* rng);
+
+}  // namespace cafe::sim
+
+#endif  // CAFE_SIM_MUTATION_H_

@@ -1,0 +1,106 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+namespace cafe::sim {
+
+Status WorkloadOptions::Validate() const {
+  if (num_queries == 0) {
+    return Status::InvalidArgument("num_queries must be positive");
+  }
+  if (query_length < 20) {
+    return Status::InvalidArgument("query_length too short");
+  }
+  if (query_divergence < 0 || query_divergence > 0.9 ||
+      min_homolog_divergence < 0 || max_homolog_divergence > 0.9 ||
+      min_homolog_divergence > max_homolog_divergence) {
+    return Status::InvalidArgument("bad divergence range");
+  }
+  return Status::OK();
+}
+
+Result<PlantedWorkload> BuildPlantedWorkload(
+    const CollectionOptions& col_options,
+    const WorkloadOptions& wl_options) {
+  CAFE_RETURN_IF_ERROR(wl_options.Validate());
+  CollectionGenerator gen(col_options);
+  Result<SequenceCollection> background = gen.Generate();
+  if (!background.ok()) return background.status();
+
+  PlantedWorkload out;
+  out.collection = std::move(*background);
+  Rng rng(wl_options.seed);
+
+  for (uint32_t q = 0; q < wl_options.num_queries; ++q) {
+    // Ancestor region the query and its homologues descend from.
+    std::string ancestor = gen.RandomSequence(wl_options.query_length);
+
+    PlantedQuery query;
+    query.sequence = Mutate(
+        ancestor, MutationModel::ForDivergence(wl_options.query_divergence),
+        &rng);
+
+    // Plant homologues at divergences spread over the configured range,
+    // strongest first.
+    for (uint32_t h = 0; h < wl_options.homologs_per_query; ++h) {
+      double div =
+          wl_options.homologs_per_query == 1
+              ? wl_options.min_homolog_divergence
+              : wl_options.min_homolog_divergence +
+                    (wl_options.max_homolog_divergence -
+                     wl_options.min_homolog_divergence) *
+                        h / (wl_options.homologs_per_query - 1);
+      std::string homolog_core =
+          Mutate(ancestor, MutationModel::ForDivergence(div), &rng);
+
+      // Embed the homologous region inside a random host sequence.
+      uint32_t flank_before =
+          static_cast<uint32_t>(rng.Uniform(gen.options().min_length + 200));
+      uint32_t flank_after =
+          static_cast<uint32_t>(rng.Uniform(gen.options().min_length + 200));
+      std::string host = gen.RandomSequence(flank_before) + homolog_core +
+                         gen.RandomSequence(flank_after);
+
+      std::string name =
+          "HOM_q" + std::to_string(q) + "_h" + std::to_string(h);
+      Result<uint32_t> id = out.collection.Add(
+          name, "planted homologue div=" + std::to_string(div), host);
+      if (!id.ok()) return id.status();
+      query.true_positives.push_back(*id);
+      query.divergences.push_back(div);
+    }
+    out.queries.push_back(std::move(query));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> SampleQueries(
+    const SequenceCollection& collection, uint32_t count, uint32_t length,
+    double divergence, uint64_t seed) {
+  if (collection.NumSequences() == 0) {
+    return Status::InvalidArgument("empty collection");
+  }
+  Rng rng(seed);
+  MutationModel model = MutationModel::ForDivergence(divergence);
+  std::vector<std::string> queries;
+  queries.reserve(count);
+  std::string seq;
+  uint32_t attempts = 0;
+  while (queries.size() < count) {
+    if (++attempts > count * 100 + 1000) {
+      return Status::Internal(
+          "collection has too few sequences of the requested length");
+    }
+    uint32_t doc =
+        static_cast<uint32_t>(rng.Uniform(collection.NumSequences()));
+    CAFE_RETURN_IF_ERROR(collection.GetSequence(doc, &seq));
+    if (seq.size() < length) continue;
+    size_t start = rng.Uniform(seq.size() - length + 1);
+    std::string region = seq.substr(start, length);
+    queries.push_back(divergence > 0 ? Mutate(region, model, &rng)
+                                     : std::move(region));
+  }
+  return queries;
+}
+
+}  // namespace cafe::sim

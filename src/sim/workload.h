@@ -1,0 +1,75 @@
+// Query workloads with planted ground truth.
+//
+// Each query is derived from an "ancestor" region; a configurable number
+// of homologues of that region — at divergences spread over a range — are
+// embedded in otherwise-random collection sequences. Retrieval
+// effectiveness (experiment E4) is then an exact measurement: the true
+// answer set of every query is known by construction, and the exhaustive
+// Smith-Waterman engine provides the ranking oracle exactly as the paper
+// measures against exhaustive search.
+
+#ifndef CAFE_SIM_WORKLOAD_H_
+#define CAFE_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "sim/generator.h"
+#include "sim/mutation.h"
+
+namespace cafe::sim {
+
+struct WorkloadOptions {
+  uint32_t num_queries = 20;
+
+  /// Length of the ancestor region each query is cut from.
+  uint32_t query_length = 400;
+
+  /// Divergence applied to the query copy of the ancestor (sequencing /
+  /// strain noise on the probe itself).
+  double query_divergence = 0.02;
+
+  /// Homologues planted per query.
+  uint32_t homologs_per_query = 5;
+
+  /// Planted homologue divergences are spread uniformly over
+  /// [min_homolog_divergence, max_homolog_divergence].
+  double min_homolog_divergence = 0.05;
+  double max_homolog_divergence = 0.30;
+
+  uint64_t seed = 4242;
+
+  Status Validate() const;
+};
+
+struct PlantedQuery {
+  std::string sequence;
+  /// Collection ids of the sequences containing a planted homologue,
+  /// ordered by increasing divergence (strongest homologue first).
+  std::vector<uint32_t> true_positives;
+  /// Divergence of each true positive, parallel to true_positives.
+  std::vector<double> divergences;
+};
+
+struct PlantedWorkload {
+  SequenceCollection collection;  // background + planted homologues
+  std::vector<PlantedQuery> queries;
+};
+
+/// Generates a background collection per `col_options`, then plants
+/// homologues and builds the query set per `wl_options`.
+Result<PlantedWorkload> BuildPlantedWorkload(
+    const CollectionOptions& col_options, const WorkloadOptions& wl_options);
+
+/// Samples `count` query strings by excising regions of `length` from
+/// random collection sequences and mutating them at `divergence`
+/// (workload for the pure timing experiments, no ground truth needed).
+Result<std::vector<std::string>> SampleQueries(
+    const SequenceCollection& collection, uint32_t count, uint32_t length,
+    double divergence, uint64_t seed);
+
+}  // namespace cafe::sim
+
+#endif  // CAFE_SIM_WORKLOAD_H_

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial) for on-disk file integrity checks.
+
+#ifndef CAFE_UTIL_CRC32_H_
+#define CAFE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cafe {
+
+/// Computes the CRC-32 of `data`, continuing from `seed` (pass 0 for a
+/// fresh checksum; pass a previous result to checksum data in chunks).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace cafe
+
+#endif  // CAFE_UTIL_CRC32_H_

@@ -1,0 +1,106 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace cafe {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  Parse(args);
+}
+
+FlagParser::FlagParser(const std::vector<std::string>& args) { Parse(args); }
+
+void FlagParser::Parse(const std::vector<std::string>& args) {
+  bool flags_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || arg.size() < 3 || arg.substr(0, 2) != "--") {
+      if (arg == "--") {
+        flags_done = true;
+        continue;
+      }
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag (or absent):
+    // then it is a boolean.
+    if (i + 1 < args.size() && args[i + 1].substr(0, 2) != "--") {
+      values_[body] = args[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) {
+  consumed_.insert(name);
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t default_value) {
+  consumed_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + " expects an integer, got '" +
+                      it->second + "'");
+    return default_value;
+  }
+  return v;
+}
+
+double FlagParser::GetDouble(const std::string& name, double default_value) {
+  consumed_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + " expects a number, got '" +
+                      it->second + "'");
+    return default_value;
+  }
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) {
+  consumed_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  if (it->second == "true" || it->second == "1" || it->second == "yes") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0" || it->second == "no") {
+    return false;
+  }
+  errors_.push_back("--" + name + " expects a boolean, got '" + it->second +
+                    "'");
+  return default_value;
+}
+
+Status FlagParser::Finish() const {
+  for (const auto& [name, value] : values_) {
+    if (consumed_.count(name) == 0) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+  }
+  if (!errors_.empty()) {
+    return Status::InvalidArgument(errors_.front());
+  }
+  return Status::OK();
+}
+
+}  // namespace cafe

@@ -1,0 +1,56 @@
+// Minimal command-line flag parsing for the tools.
+//
+// Accepts --name=value and --name value pairs plus bare --name boolean
+// flags; everything else is positional. Typed getters record which flags
+// the program understands, so Finish() can reject typos instead of
+// silently ignoring them.
+
+#ifndef CAFE_UTIL_FLAGS_H_
+#define CAFE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cafe {
+
+class FlagParser {
+ public:
+  /// Parses argv[1..argc). A value-less flag stores "true"; `--` ends
+  /// flag processing (everything after is positional).
+  FlagParser(int argc, const char* const* argv);
+
+  explicit FlagParser(const std::vector<std::string>& args);
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value);
+  int64_t GetInt(const std::string& name, int64_t default_value);
+  double GetDouble(const std::string& name, double default_value);
+  bool GetBool(const std::string& name, bool default_value = false);
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Fails if any provided flag was never consumed by a getter, or if a
+  /// typed getter saw an unparsable value.
+  Status Finish() const;
+
+ private:
+  void Parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::set<std::string> consumed_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_UTIL_FLAGS_H_

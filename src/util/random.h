@@ -1,0 +1,116 @@
+// Deterministic pseudo-random generation for the synthetic collections and
+// property tests. All randomness in the library flows through Rng so that
+// every experiment is reproducible from a seed.
+
+#ifndef CAFE_UTIL_RANDOM_H_
+#define CAFE_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cafe {
+
+/// xoshiro256** generator seeded via splitmix64. Header-only for speed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the full state.
+    uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ull;
+      t = (t ^ (t >> 27)) * 0x94D049BB133111EBull;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Debiased multiply-shift (Lemire).
+    while (true) {
+      uint64_t x = Next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t lo = static_cast<uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma) {
+    return std::exp(mu + sigma * NextGaussian());
+  }
+
+  /// Geometric: number of failures before first success, success prob p.
+  uint64_t NextGeometric(double p) {
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return static_cast<uint64_t>(std::log(u) / std::log1p(-p));
+  }
+
+  /// Samples an index according to non-negative weights (need not sum to 1).
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double x = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_UTIL_RANDOM_H_

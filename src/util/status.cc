@@ -1,0 +1,40 @@
+#include "util/status.h"
+
+namespace cafe {
+
+std::string Status::ToString() const {
+  const char* label = nullptr;
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      label = "Invalid argument";
+      break;
+    case Code::kNotFound:
+      label = "Not found";
+      break;
+    case Code::kCorruption:
+      label = "Corruption";
+      break;
+    case Code::kIOError:
+      label = "IO error";
+      break;
+    case Code::kNotSupported:
+      label = "Not supported";
+      break;
+    case Code::kOutOfRange:
+      label = "Out of range";
+      break;
+    case Code::kInternal:
+      label = "Internal";
+      break;
+  }
+  std::string out = label;
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace cafe

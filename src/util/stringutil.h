@@ -1,0 +1,40 @@
+// Small string/formatting helpers shared by the tools and harnesses.
+
+#ifndef CAFE_UTIL_STRINGUTIL_H_
+#define CAFE_UTIL_STRINGUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafe {
+
+/// "1.5 KB", "23.4 MB", ... (powers of 1024).
+std::string HumanBytes(uint64_t bytes);
+
+/// Fixed-point rendering with `digits` decimals, e.g. FormatDouble(1.5, 2)
+/// == "1.50".
+std::string FormatDouble(double value, int digits);
+
+/// Thousands-separated integer, e.g. 1234567 -> "1,234,567".
+std::string WithCommas(uint64_t value);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on any occurrence of `sep` (single char); keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII upper-casing (locale-independent).
+std::string ToUpper(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace cafe
+
+#endif  // CAFE_UTIL_STRINGUTIL_H_

@@ -1,0 +1,149 @@
+// Edge cases of the alignment kernels: degenerate sizes, boundary
+// alignments, linear-gap schemes, wildcard-only inputs, and bands that
+// miss the matrix entirely.
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "align/xdrop.h"
+#include "alphabet/nucleotide.h"
+
+namespace cafe {
+namespace {
+
+TEST(AlignEdgeTest, SingleCharacterSequences) {
+  Aligner aligner;
+  const int match = aligner.scheme().match;
+  EXPECT_EQ(aligner.ScoreOnly("A", "A"), match);
+  EXPECT_EQ(aligner.ScoreOnly("A", "C"), 0);
+  EXPECT_EQ(aligner.ScoreOnly("A", "CCCCACCCC"), match);
+  Result<LocalAlignment> a = aligner.Align("A", "A");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->score, match);
+  EXPECT_EQ(a->Cigar(), "1=");
+}
+
+TEST(AlignEdgeTest, LinearGapScheme) {
+  // gap_open == gap_extend degenerates affine to linear gaps; the
+  // aligner must still agree with itself via traceback re-scoring.
+  ScoringScheme s;
+  s.gap_open = -2;
+  s.gap_extend = -2;
+  ASSERT_TRUE(s.Validate().ok());
+  Aligner aligner(s);
+  std::string t = "ACGTAAGCTATTGCACGGAT";
+  std::string q = t.substr(0, 10) + "CCC" + t.substr(10);
+  Result<LocalAlignment> a = aligner.Align(q, t);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->score, aligner.ScoreOnly(q, t));
+  // Linear 3-base gap: 20 matches - 3*2.
+  EXPECT_EQ(a->score, 20 * s.match + 3 * s.gap_extend);
+}
+
+TEST(AlignEdgeTest, AllWildcardQuery) {
+  Aligner aligner;  // wildcard_score = 0
+  EXPECT_EQ(aligner.ScoreOnly("NNNNNNNN", "ACGTACGT"), 0);
+  Result<LocalAlignment> a = aligner.Align("NNNN", "ACGT");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->score, 0);
+  EXPECT_TRUE(a->ops.empty());
+}
+
+TEST(AlignEdgeTest, PositiveWildcardScore) {
+  ScoringScheme s;
+  s.wildcard_score = 1;
+  Aligner aligner(s);
+  EXPECT_EQ(aligner.ScoreOnly("NNNN", "ACGT"), 4);
+}
+
+TEST(AlignEdgeTest, ExtremeAsymmetry) {
+  Aligner aligner;
+  std::string needle = "ACGTTGCA";
+  std::string haystack(5000, 'T');
+  haystack.replace(2500, needle.size(), needle);
+  EXPECT_EQ(aligner.ScoreOnly(needle, haystack),
+            static_cast<int>(needle.size()) * aligner.scheme().match);
+  Result<LocalAlignment> a = aligner.Align(needle, haystack);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->target_begin, 2500u);
+}
+
+TEST(AlignEdgeTest, AlignmentAtSequenceBoundaries) {
+  Aligner aligner;
+  // Match region flush against both starts.
+  Result<LocalAlignment> head = aligner.Align("ACGTACGT", "ACGTACGTTTTT");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->query_begin, 0u);
+  EXPECT_EQ(head->target_begin, 0u);
+  // Flush against both ends.
+  Result<LocalAlignment> tail = aligner.Align("ACGTACGT", "TTTTACGTACGT");
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->query_end, 8u);
+  EXPECT_EQ(tail->target_end, 12u);
+}
+
+TEST(AlignEdgeTest, BandMissesMatrixEntirely) {
+  Aligner aligner;
+  // Diagonal far outside [-|q|, |t|]: no cell is in range.
+  EXPECT_EQ(aligner.BandedScore("ACGTACGT", "ACGTACGT", 1000, 4), 0);
+  EXPECT_EQ(aligner.BandedScore("ACGTACGT", "ACGTACGT", -1000, 4), 0);
+  Result<LocalAlignment> a =
+      aligner.BandedAlign("ACGTACGT", "ACGTACGT", 1000, 4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->score, 0);
+}
+
+TEST(AlignEdgeTest, IdenticalSequencesBandZero) {
+  Aligner aligner;
+  std::string s = "ACGGTTACAGCATTGACCGTAGGCATCAGG";
+  EXPECT_EQ(aligner.BandedScore(s, s, 0, 0),
+            static_cast<int>(s.size()) * aligner.scheme().match);
+}
+
+TEST(AlignEdgeTest, XDropZeroLengthArms) {
+  ScoringScheme scheme;
+  PairScoreTable table(scheme);
+  // Seed occupying an entire sequence: nothing to extend.
+  UngappedSegment seg = XDropExtend("ACGT", "ACGT", 0, 0, 4, table, 10);
+  EXPECT_EQ(seg.score, 4 * scheme.match);
+  EXPECT_EQ(seg.Length(), 4u);
+}
+
+TEST(AlignEdgeTest, XDropSeedAtEnds) {
+  ScoringScheme scheme;
+  PairScoreTable table(scheme);
+  std::string q = "TTTTACGT";
+  std::string t = "GGGGACGT";
+  // Seed at the right edge of both sequences.
+  UngappedSegment seg = XDropExtend(q, t, 4, 4, 4, table, 10);
+  EXPECT_EQ(seg.query_end, 8u);
+  EXPECT_EQ(seg.target_end, 8u);
+  EXPECT_EQ(seg.score, 4 * scheme.match);
+}
+
+TEST(AlignEdgeTest, TracebackThroughLongGapRuns) {
+  Aligner aligner;
+  std::string t = "ACGTAAGCTATTGCACGGATACGTAAGCTA";
+  std::string q = t.substr(0, 15) + std::string(12, 'C') + t.substr(15);
+  Result<LocalAlignment> a = aligner.Align(q, t);
+  ASSERT_TRUE(a.ok());
+  // One 12-column insertion run in the CIGAR.
+  EXPECT_NE(a->Cigar().find("12I"), std::string::npos) << a->Cigar();
+  EXPECT_EQ(a->score, aligner.ScoreOnly(q, t));
+}
+
+TEST(AlignEdgeTest, BandedTracebackOnDriftingDiagonal) {
+  Aligner aligner;
+  std::string t = "ACGTAAGCTATTGCACGGATACGTAAGCTA";
+  std::string q = t;
+  q.insert(10, "GG");
+  q.insert(22, "T");
+  Result<LocalAlignment> banded = aligner.BandedAlign(q, t, 0, 8);
+  Result<LocalAlignment> full = aligner.Align(q, t);
+  ASSERT_TRUE(banded.ok() && full.ok());
+  EXPECT_EQ(banded->score, full->score);
+  EXPECT_EQ(banded->Cigar(), full->Cigar());
+}
+
+}  // namespace
+}  // namespace cafe

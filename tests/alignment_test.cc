@@ -1,0 +1,103 @@
+#include "align/alignment.h"
+
+#include <gtest/gtest.h>
+
+namespace cafe {
+namespace {
+
+LocalAlignment Sample() {
+  LocalAlignment a;
+  a.score = 42;
+  a.query_begin = 2;
+  a.query_end = 8;
+  a.target_begin = 10;
+  a.target_end = 17;
+  a.ops = {EditOp::kMatch,    EditOp::kMatch, EditOp::kMismatch,
+           EditOp::kDeletion, EditOp::kMatch, EditOp::kMatch,
+           EditOp::kInsertion, EditOp::kMatch};
+  return a;
+}
+
+TEST(AlignmentTest, Counts) {
+  LocalAlignment a = Sample();
+  EXPECT_EQ(a.Matches(), 5u);
+  EXPECT_EQ(a.Mismatches(), 1u);
+  EXPECT_EQ(a.GapColumns(), 2u);
+  EXPECT_EQ(a.QuerySpan(), 6u);
+  EXPECT_EQ(a.TargetSpan(), 7u);
+}
+
+TEST(AlignmentTest, Identity) {
+  LocalAlignment a = Sample();
+  EXPECT_NEAR(a.Identity(), 5.0 / 8.0, 1e-12);
+  LocalAlignment empty;
+  EXPECT_EQ(empty.Identity(), 0.0);
+}
+
+TEST(AlignmentTest, CigarCompression) {
+  LocalAlignment a = Sample();
+  EXPECT_EQ(a.Cigar(), "2=1X1D2=1I1=");
+  LocalAlignment empty;
+  EXPECT_EQ(empty.Cigar(), "");
+  LocalAlignment uniform;
+  uniform.ops = std::vector<EditOp>(12, EditOp::kMatch);
+  EXPECT_EQ(uniform.Cigar(), "12=");
+}
+
+TEST(AlignmentTest, FormatRowsConsistent) {
+  //            0123456789
+  std::string query = "xxACGTACGTxx";  // not real bases; format is literal
+  std::string target = "yyyyACGTACGTyy";
+  LocalAlignment a;
+  a.score = 10;
+  a.query_begin = 2;
+  a.query_end = 10;
+  a.target_begin = 4;
+  a.target_end = 12;
+  a.ops = std::vector<EditOp>(8, EditOp::kMatch);
+  std::string text = a.Format(query, target, 60);
+  EXPECT_NE(text.find("ACGTACGT"), std::string::npos);
+  EXPECT_NE(text.find("||||||||"), std::string::npos);
+  EXPECT_NE(text.find("score 10"), std::string::npos);
+  EXPECT_NE(text.find("identity 100%"), std::string::npos);
+}
+
+TEST(AlignmentTest, FormatShowsGaps) {
+  std::string query = "ACGT";
+  std::string target = "AGT";
+  LocalAlignment a;
+  a.score = 5;
+  a.query_begin = 0;
+  a.query_end = 4;
+  a.target_begin = 0;
+  a.target_end = 3;
+  a.ops = {EditOp::kMatch, EditOp::kInsertion, EditOp::kMatch,
+           EditOp::kMatch};
+  std::string text = a.Format(query, target);
+  // Insertion shows a dash in the target row.
+  EXPECT_NE(text.find("A-GT"), std::string::npos);
+}
+
+TEST(AlignmentTest, FormatWraps) {
+  std::string query(100, 'A');
+  std::string target(100, 'A');
+  LocalAlignment a;
+  a.score = 1;
+  a.query_begin = 0;
+  a.query_end = 100;
+  a.target_begin = 0;
+  a.target_end = 100;
+  a.ops = std::vector<EditOp>(100, EditOp::kMatch);
+  std::string text = a.Format(query, target, 40);
+  // 100 columns at width 40 -> 3 blocks, each with a Q line.
+  size_t q_lines = 0;
+  size_t pos = 0;
+  while ((pos = text.find("Q ", pos)) != std::string::npos) {
+    ++q_lines;
+    pos += 2;
+  }
+  EXPECT_EQ(q_lines, 3u);
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.h"
+#include "alphabet/nucleotide.h"
+#include "util/random.h"
+
+namespace cafe {
+namespace {
+
+std::string RandomSeq(size_t len, Rng* rng) {
+  std::string s(len, 'A');
+  for (char& c : s) c = CodeToBase(static_cast<int>(rng->Uniform(4)));
+  return s;
+}
+
+TEST(BandedTest, EmptyAndDegenerate) {
+  Aligner aligner;
+  EXPECT_EQ(aligner.BandedScore("", "ACGT", 0, 8), 0);
+  EXPECT_EQ(aligner.BandedScore("ACGT", "", 0, 8), 0);
+  EXPECT_EQ(aligner.BandedScore("ACGT", "ACGT", 0, -1), 0);
+}
+
+TEST(BandedTest, PerfectMatchOnCenterDiagonal) {
+  Aligner aligner;
+  const ScoringScheme& s = aligner.scheme();
+  EXPECT_EQ(aligner.BandedScore("ACGTACGT", "ACGTACGT", 0, 4),
+            8 * s.match);
+  // Band of zero still covers an exact diagonal alignment.
+  EXPECT_EQ(aligner.BandedScore("ACGTACGT", "ACGTACGT", 0, 0),
+            8 * s.match);
+}
+
+TEST(BandedTest, OffsetDiagonal) {
+  Aligner aligner;
+  const ScoringScheme& s = aligner.scheme();
+  // Query matches target at offset 6: diagonal = +6.
+  std::string q = "ACGTACGT";
+  std::string t = "TTTTTT" + q + "CCC";
+  EXPECT_EQ(aligner.BandedScore(q, t, 6, 2), 8 * s.match);
+  // A band centred on the wrong diagonal (far away) misses the match.
+  EXPECT_LT(aligner.BandedScore(q, t, -6, 2), 8 * s.match);
+}
+
+TEST(BandedTest, WideBandEqualsFullSmithWaterman) {
+  Rng rng(555);
+  Aligner aligner;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string q = RandomSeq(5 + rng.Uniform(40), &rng);
+    std::string t = RandomSeq(5 + rng.Uniform(40), &rng);
+    // A band wide enough to cover the entire matrix is exact.
+    int band = static_cast<int>(q.size() + t.size());
+    int64_t diag =
+        (static_cast<int64_t>(t.size()) - static_cast<int64_t>(q.size())) /
+        2;
+    EXPECT_EQ(aligner.BandedScore(q, t, diag, band),
+              aligner.ScoreOnly(q, t))
+        << "q=" << q << " t=" << t;
+  }
+}
+
+TEST(BandedTest, NarrowBandIsLowerBound) {
+  Rng rng(777);
+  Aligner aligner;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string q = RandomSeq(20 + rng.Uniform(40), &rng);
+    std::string t = RandomSeq(20 + rng.Uniform(40), &rng);
+    int full = aligner.ScoreOnly(q, t);
+    for (int band : {0, 2, 8}) {
+      EXPECT_LE(aligner.BandedScore(q, t, 0, band), full);
+    }
+  }
+}
+
+TEST(BandedTest, GapWithinBand) {
+  Aligner aligner;
+  const ScoringScheme& s = aligner.scheme();
+  std::string t = "ACGTAAGCTATTGCACGGAT";
+  std::string q = t.substr(0, 10) + "CC" + t.substr(10);
+  int expected = 20 * s.match + s.gap_open + s.gap_extend;
+  // Diagonal drifts from 0 to -2; band 4 covers it.
+  EXPECT_EQ(aligner.BandedScore(q, t, 0, 4), expected);
+  EXPECT_EQ(aligner.BandedScore(q, t, -1, 4), expected);
+}
+
+TEST(BandedTest, BandedAlignMatchesBandedScore) {
+  Rng rng(888);
+  Aligner aligner;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string q = RandomSeq(10 + rng.Uniform(50), &rng);
+    std::string t = RandomSeq(10 + rng.Uniform(50), &rng);
+    for (int band : {3, 10}) {
+      int score = aligner.BandedScore(q, t, 0, band);
+      Result<LocalAlignment> a = aligner.BandedAlign(q, t, 0, band);
+      ASSERT_TRUE(a.ok());
+      EXPECT_EQ(a->score, score);
+    }
+  }
+}
+
+TEST(BandedTest, BandedAlignTracebackCoordinates) {
+  Aligner aligner;
+  std::string q = "TTTTACGTACGTTTTT";
+  std::string t = "GGGGACGTACGTGGGG";
+  Result<LocalAlignment> a = aligner.BandedAlign(q, t, 0, 4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->query_begin, 4u);
+  EXPECT_EQ(a->query_end, 12u);
+  EXPECT_EQ(a->target_begin, 4u);
+  EXPECT_EQ(a->target_end, 12u);
+  EXPECT_EQ(a->Cigar(), "8=");
+}
+
+TEST(BandedTest, BandedAlignOnShiftedDiagonal) {
+  Aligner aligner;
+  std::string q = "ACGTACGTAC";
+  std::string t = std::string(25, 'T') + q;
+  Result<LocalAlignment> a = aligner.BandedAlign(q, t, 25, 3);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->score, 10 * aligner.scheme().match);
+  EXPECT_EQ(a->target_begin, 25u);
+  EXPECT_EQ(a->target_end, 35u);
+  EXPECT_EQ(a->Identity(), 1.0);
+}
+
+TEST(BandedTest, HomologRecoveredThroughIndels) {
+  // A banded alignment around the true diagonal must recover most of the
+  // score even with scattered indels, as long as drift < band.
+  Aligner aligner;
+  std::string core = "ACGGTTACAGCATTGACCGTAGGCATCAGGATTACAGGCA";
+  std::string q = core;
+  std::string t = core;
+  t.insert(10, "G");
+  t.insert(30, "TT");
+  int banded = aligner.BandedScore(q, t, 0, 8);
+  int full = aligner.ScoreOnly(q, t);
+  EXPECT_EQ(banded, full);
+}
+
+TEST(BandedTest, CellAccountingGrowsWithBand) {
+  Aligner aligner;
+  std::string q(50, 'A'), t(50, 'A');
+  aligner.ResetCellCount();
+  aligner.BandedScore(q, t, 0, 2);
+  uint64_t narrow = aligner.cells_computed();
+  aligner.ResetCellCount();
+  aligner.BandedScore(q, t, 0, 20);
+  uint64_t wide = aligner.cells_computed();
+  EXPECT_LT(narrow, wide);
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,70 @@
+#!/bin/sh
+# End-to-end exercise of cafe_cli: generate -> build -> info -> search
+# (including failure paths). Run by ctest with the cli binary as $1.
+set -eu
+
+CLI="$1"
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/cafe_cli_test.XXXXXX")"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" generate --bases 100000 --out "$DIR/db.fa" --seed 5 > "$DIR/log" 2>&1
+grep -q "wrote" "$DIR/log"
+
+"$CLI" build --fasta "$DIR/db.fa" --collection "$DIR/db.col" \
+    --index "$DIR/db.idx" --interval 8 > "$DIR/log" 2>&1
+grep -q "postings" "$DIR/log"
+
+"$CLI" info --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    > "$DIR/log" 2>&1
+grep -q "bits/base" "$DIR/log"
+grep -q "interval length" "$DIR/log"
+
+"$CLI" terms --index "$DIR/db.idx" --top 5 > "$DIR/log" 2>&1
+grep -q "interval" "$DIR/log"
+
+# Sharded build produces an equivalent index file (same search answers).
+"$CLI" build --fasta "$DIR/db.fa" --collection "$DIR/db2.col" \
+    --index "$DIR/db2.idx" --interval 8 --shards 4 > "$DIR/log" 2>&1
+grep -q "postings" "$DIR/log"
+cmp "$DIR/db.idx" "$DIR/db2.idx"
+
+# Excise a query from the generated FASTA (second line = first sequence).
+QUERY="$(sed -n '2p' "$DIR/db.fa" | cut -c1-60)"
+"$CLI" search --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query "$QUERY" --top 3 > "$DIR/log" 2>&1
+grep -q "SYN0" "$DIR/log"
+
+# Disk index + both strands + evalues path.
+"$CLI" search --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query "$QUERY" --top 3 --disk-index --both-strands --evalues \
+    > "$DIR/log" 2>&1
+grep -q "evalue" "$DIR/log"
+
+# Query file path with traceback.
+printf '>probe\n%s\n' "$QUERY" > "$DIR/q.fa"
+"$CLI" search --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query-file "$DIR/q.fa" --top 1 --traceback > "$DIR/log" 2>&1
+grep -q "identity 100%" "$DIR/log"
+
+# Failure paths must exit non-zero with a diagnostic.
+if "$CLI" search --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    > "$DIR/log" 2>&1; then
+  echo "expected failure on missing query" >&2
+  exit 1
+fi
+grep -q "query" "$DIR/log"
+
+if "$CLI" build --fasta /nonexistent.fa --collection "$DIR/x" \
+    --index "$DIR/y" > "$DIR/log" 2>&1; then
+  echo "expected failure on missing fasta" >&2
+  exit 1
+fi
+
+if "$CLI" search --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query ACGTACGTACGT --tpo 3 > "$DIR/log" 2>&1; then
+  echo "expected failure on unknown flag" >&2
+  exit 1
+fi
+grep -q "tpo" "$DIR/log"
+
+echo "cli_test OK"

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "coding/binary.h"
+#include "coding/elias.h"
+#include "coding/golomb.h"
+#include "coding/unary.h"
+#include "coding/vbyte.h"
+#include "util/bitio.h"
+
+namespace cafe::coding {
+namespace {
+
+TEST(UnaryCodeTest, RoundTrip) {
+  BitWriter w;
+  for (uint64_t v = 1; v <= 40; ++v) EncodeUnary(&w, v);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  for (uint64_t v = 1; v <= 40; ++v) EXPECT_EQ(DecodeUnary(&r), v);
+}
+
+TEST(UnaryCodeTest, BitCost) {
+  EXPECT_EQ(UnaryBits(1), 1u);
+  EXPECT_EQ(UnaryBits(7), 7u);
+  BitWriter w;
+  EncodeUnary(&w, 9);
+  EXPECT_EQ(w.bit_count(), 9u);
+}
+
+TEST(GammaCodeTest, KnownCodes) {
+  // gamma(1) = "1"
+  {
+    BitWriter w;
+    EncodeGamma(&w, 1);
+    EXPECT_EQ(w.bit_count(), 1u);
+    std::vector<uint8_t> b = w.Finish();
+    EXPECT_EQ(b[0], 0x80);
+  }
+  // gamma(2) = "010", gamma(3) = "011"
+  {
+    BitWriter w;
+    EncodeGamma(&w, 2);
+    EXPECT_EQ(w.bit_count(), 3u);
+    std::vector<uint8_t> b = w.Finish();
+    EXPECT_EQ(b[0], 0b01000000);
+  }
+  {
+    BitWriter w;
+    EncodeGamma(&w, 5);  // 101 -> "00" "1" "01" = 00101
+    EXPECT_EQ(w.bit_count(), 5u);
+    std::vector<uint8_t> b = w.Finish();
+    EXPECT_EQ(b[0], 0b00101000);
+  }
+}
+
+TEST(GammaCodeTest, RoundTripWideRange) {
+  BitWriter w;
+  std::vector<uint64_t> values;
+  for (uint64_t v = 1; v < 2000; v += 7) values.push_back(v);
+  values.push_back(uint64_t{1} << 40);
+  values.push_back((uint64_t{1} << 40) + 12345);
+  for (uint64_t v : values) EncodeGamma(&w, v);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  for (uint64_t v : values) EXPECT_EQ(DecodeGamma(&r), v);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(GammaCodeTest, BitCostMatchesFormula) {
+  for (uint64_t v : {1ull, 2ull, 3ull, 4ull, 7ull, 8ull, 1000ull}) {
+    BitWriter w;
+    EncodeGamma(&w, v);
+    EXPECT_EQ(w.bit_count(), GammaBits(v)) << v;
+  }
+  EXPECT_EQ(GammaBits(1), 1u);
+  EXPECT_EQ(GammaBits(2), 3u);
+  EXPECT_EQ(GammaBits(4), 5u);
+}
+
+TEST(DeltaCodeTest, RoundTripWideRange) {
+  BitWriter w;
+  std::vector<uint64_t> values;
+  for (uint64_t v = 1; v < 5000; v += 13) values.push_back(v);
+  values.push_back(uint64_t{1} << 50);
+  for (uint64_t v : values) EncodeDelta(&w, v);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  for (uint64_t v : values) EXPECT_EQ(DecodeDelta(&r), v);
+}
+
+TEST(DeltaCodeTest, ShorterThanGammaForLargeValues) {
+  EXPECT_LT(DeltaBits(1 << 20), GammaBits(1 << 20));
+  // And the cost formula matches the writer.
+  BitWriter w;
+  EncodeDelta(&w, 123456);
+  EXPECT_EQ(w.bit_count(), DeltaBits(123456));
+}
+
+TEST(GolombCodeTest, RoundTripVariousParameters) {
+  for (uint64_t b : {1ull, 2ull, 3ull, 7ull, 8ull, 64ull, 100ull}) {
+    BitWriter w;
+    for (uint64_t v = 1; v <= 300; ++v) EncodeGolomb(&w, v, b);
+    std::vector<uint8_t> bytes = w.Finish();
+    BitReader r(bytes);
+    for (uint64_t v = 1; v <= 300; ++v) {
+      EXPECT_EQ(DecodeGolomb(&r, b), v) << "b=" << b << " v=" << v;
+    }
+  }
+}
+
+TEST(GolombCodeTest, BitCostMatchesFormula) {
+  for (uint64_t b : {1ull, 3ull, 8ull, 13ull}) {
+    for (uint64_t v = 1; v <= 100; ++v) {
+      BitWriter w;
+      EncodeGolomb(&w, v, b);
+      EXPECT_EQ(w.bit_count(), GolombBits(v, b)) << "b=" << b << " v=" << v;
+    }
+  }
+}
+
+TEST(GolombCodeTest, TruncatedBinarySavesBits) {
+  // With b=3 (not a power of two), remainder 0 takes 1 bit, 1/2 take 2.
+  EXPECT_EQ(GolombBits(1, 3), 2u);  // q=0 (1 bit) + rem 0 (1 bit)
+  EXPECT_EQ(GolombBits(2, 3), 3u);
+  EXPECT_EQ(GolombBits(3, 3), 3u);
+  EXPECT_EQ(GolombBits(4, 3), 3u);  // q=1
+}
+
+TEST(GolombCodeTest, OptimalParameterFormula) {
+  // mean gap = universe/occurrences; b ~= 0.69 * mean.
+  EXPECT_EQ(OptimalGolombParameter(100, 10000), 69u);
+  EXPECT_EQ(OptimalGolombParameter(1, 1), 1u);
+  EXPECT_EQ(OptimalGolombParameter(0, 100), 1u);
+  EXPECT_EQ(OptimalGolombParameter(100, 0), 1u);
+  EXPECT_GE(OptimalGolombParameter(1000000, 1000000), 1u);
+}
+
+TEST(RiceCodeTest, RoundTrip) {
+  for (int k : {0, 1, 3, 7}) {
+    BitWriter w;
+    for (uint64_t v = 1; v <= 200; ++v) EncodeRice(&w, v, k);
+    std::vector<uint8_t> bytes = w.Finish();
+    BitReader r(bytes);
+    for (uint64_t v = 1; v <= 200; ++v) {
+      EXPECT_EQ(DecodeRice(&r, k), v) << "k=" << k;
+    }
+  }
+}
+
+TEST(RiceCodeTest, MatchesGolombPowerOfTwo) {
+  // Rice with parameter k is Golomb with b = 2^k: identical bit cost.
+  for (uint64_t v = 1; v <= 64; ++v) {
+    EXPECT_EQ(RiceBits(v, 3), GolombBits(v, 8)) << v;
+  }
+}
+
+TEST(RiceCodeTest, OptimalParameter) {
+  int k = OptimalRiceParameter(100, 10000);  // golomb b = 69 -> k = 6
+  EXPECT_EQ(k, 6);
+  EXPECT_EQ(OptimalRiceParameter(1, 1), 0);
+}
+
+TEST(VByteCodeTest, RoundTrip) {
+  BitWriter w;
+  std::vector<uint64_t> values = {1, 2, 127, 128, 129, 16384, 1 << 20,
+                                  uint64_t{1} << 40};
+  for (uint64_t v : values) EncodeVByte(&w, v);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  for (uint64_t v : values) EXPECT_EQ(DecodeVByte(&r), v);
+}
+
+TEST(VByteCodeTest, ByteBoundaries) {
+  EXPECT_EQ(VByteBits(1), 8u);
+  EXPECT_EQ(VByteBits(128), 8u);   // stores v-1 = 127
+  EXPECT_EQ(VByteBits(129), 16u);  // stores v-1 = 128
+  EXPECT_EQ(VByteBits(uint64_t{1} << 22), 32u);
+}
+
+TEST(VByteCodeTest, ByteVectorForm) {
+  std::vector<uint8_t> buf;
+  AppendVByte(&buf, 1);
+  AppendVByte(&buf, 300);
+  AppendVByte(&buf, uint64_t{1} << 33);
+  size_t pos = 0;
+  EXPECT_EQ(ReadVByte(buf.data(), buf.size(), &pos), 1u);
+  EXPECT_EQ(ReadVByte(buf.data(), buf.size(), &pos), 300u);
+  EXPECT_EQ(ReadVByte(buf.data(), buf.size(), &pos), uint64_t{1} << 33);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(FixedCodeTest, RoundTrip) {
+  BitWriter w;
+  EncodeFixed(&w, 1, 1);
+  EncodeFixed(&w, 256, 8);
+  EncodeFixed(&w, 1000, 16);
+  EncodeFixed(&w, uint64_t{1} << 31, 32);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(DecodeFixed(&r, 1), 1u);
+  EXPECT_EQ(DecodeFixed(&r, 8), 256u);
+  EXPECT_EQ(DecodeFixed(&r, 16), 1000u);
+  EXPECT_EQ(DecodeFixed(&r, 32), uint64_t{1} << 31);
+}
+
+TEST(FixedCodeTest, WidthFor) {
+  EXPECT_EQ(FixedWidthFor(1), 1);
+  EXPECT_EQ(FixedWidthFor(2), 1);
+  EXPECT_EQ(FixedWidthFor(3), 2);
+  EXPECT_EQ(FixedWidthFor(256), 8);
+  EXPECT_EQ(FixedWidthFor(257), 9);
+}
+
+TEST(CodeFamilyTest, GammaBeatsUnaryBeyondSmall) {
+  EXPECT_LT(GammaBits(100), UnaryBits(100));
+  EXPECT_EQ(UnaryBits(1), GammaBits(1));
+}
+
+TEST(CodeFamilyTest, GolombNearEntropyForGeometricGaps) {
+  // For geometric gaps with mean ~32, optimal Golomb should use fewer
+  // bits than gamma on average.
+  uint64_t golomb_total = 0, gamma_total = 0;
+  uint64_t b = OptimalGolombParameter(1000, 32000);
+  for (uint64_t v = 1; v <= 64; ++v) {
+    golomb_total += GolombBits(v, b);
+    gamma_total += GammaBits(v);
+  }
+  EXPECT_LT(golomb_total, gamma_total);
+}
+
+}  // namespace
+}  // namespace cafe::coding

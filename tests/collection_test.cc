@@ -1,0 +1,141 @@
+#include "collection/collection.h"
+
+#include <gtest/gtest.h>
+
+#include "util/env.h"
+
+namespace cafe {
+namespace {
+
+SequenceCollection MakeSample() {
+  SequenceCollection col;
+  EXPECT_TRUE(col.Add("s0", "first", "ACGTACGT").ok());
+  EXPECT_TRUE(col.Add("s1", "", "NNNACGT").ok());
+  EXPECT_TRUE(col.Add("s2", "third record", "T").ok());
+  return col;
+}
+
+TEST(CollectionTest, AddAndGet) {
+  SequenceCollection col = MakeSample();
+  EXPECT_EQ(col.NumSequences(), 3u);
+  EXPECT_EQ(col.TotalBases(), 16u);
+  std::string seq;
+  ASSERT_TRUE(col.GetSequence(0, &seq).ok());
+  EXPECT_EQ(seq, "ACGTACGT");
+  ASSERT_TRUE(col.GetSequence(1, &seq).ok());
+  EXPECT_EQ(seq, "NNNACGT");
+  EXPECT_EQ(col.Name(0), "s0");
+  EXPECT_EQ(col.Name(2), "s2");
+  EXPECT_EQ(col.Description(2), "third record");
+  EXPECT_EQ(col.Description(1), "");
+}
+
+TEST(CollectionTest, IdsAreDense) {
+  SequenceCollection col;
+  Result<uint32_t> a = col.Add("a", "", "ACGT");
+  Result<uint32_t> b = col.Add("b", "", "ACGT");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+}
+
+TEST(CollectionTest, OutOfRangeAccessors) {
+  SequenceCollection col = MakeSample();
+  std::string seq;
+  EXPECT_TRUE(col.GetSequence(99, &seq).IsNotFound());
+  EXPECT_EQ(col.Name(99), "");
+  EXPECT_EQ(col.Description(99), "");
+  EXPECT_TRUE(col.SequenceLength(99).status().IsNotFound());
+}
+
+TEST(CollectionTest, SequenceLength) {
+  SequenceCollection col = MakeSample();
+  Result<size_t> len = col.SequenceLength(1);
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(*len, 7u);
+}
+
+TEST(CollectionTest, RejectsEmptyId) {
+  SequenceCollection col;
+  EXPECT_TRUE(col.Add("", "", "ACGT").status().IsInvalidArgument());
+}
+
+TEST(CollectionTest, RejectsInvalidSequence) {
+  SequenceCollection col;
+  EXPECT_TRUE(col.Add("a", "", "AC-GT").status().IsInvalidArgument());
+  EXPECT_EQ(col.NumSequences(), 0u);
+}
+
+TEST(CollectionTest, FromFasta) {
+  std::vector<FastaRecord> recs = {
+      {"r1", "one", "ACGT"},
+      {"r2", "two", "TTTTNN"},
+  };
+  Result<SequenceCollection> col = SequenceCollection::FromFasta(recs);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->NumSequences(), 2u);
+  std::string seq;
+  ASSERT_TRUE(col->GetSequence(1, &seq).ok());
+  EXPECT_EQ(seq, "TTTTNN");
+  EXPECT_EQ(col->Name(0), "r1");
+}
+
+TEST(CollectionTest, SerializeRoundTrip) {
+  SequenceCollection col = MakeSample();
+  std::string data;
+  col.Serialize(&data);
+  Result<SequenceCollection> back = SequenceCollection::Deserialize(data);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumSequences(), 3u);
+  EXPECT_EQ(back->TotalBases(), 16u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    std::string a, b;
+    ASSERT_TRUE(col.GetSequence(i, &a).ok());
+    ASSERT_TRUE(back->GetSequence(i, &b).ok());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(col.Name(i), back->Name(i));
+    EXPECT_EQ(col.Description(i), back->Description(i));
+  }
+}
+
+TEST(CollectionTest, DeserializeDetectsCorruption) {
+  SequenceCollection col = MakeSample();
+  std::string data;
+  col.Serialize(&data);
+
+  std::string bad = data;
+  bad[10] ^= 0x01;
+  EXPECT_TRUE(SequenceCollection::Deserialize(bad).status().IsCorruption());
+  EXPECT_TRUE(SequenceCollection::Deserialize("short").status().IsCorruption());
+  bad = data;
+  bad[1] = 'z';
+  EXPECT_TRUE(SequenceCollection::Deserialize(bad).status().IsCorruption());
+}
+
+TEST(CollectionTest, SaveLoad) {
+  std::string path = TempDir() + "/cafe_collection_test.bin";
+  SequenceCollection col = MakeSample();
+  ASSERT_TRUE(col.Save(path).ok());
+  Result<SequenceCollection> back = SequenceCollection::Load(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumSequences(), 3u);
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(CollectionTest, StorageBytesAccountsNames) {
+  SequenceCollection col = MakeSample();
+  EXPECT_GT(col.StorageBytes(), 0u);
+  EXPECT_GE(col.StorageBytes(), col.store().StorageBytes());
+}
+
+TEST(CollectionTest, EmptyCollectionSerializes) {
+  SequenceCollection col;
+  std::string data;
+  col.Serialize(&data);
+  Result<SequenceCollection> back = SequenceCollection::Deserialize(data);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumSequences(), 0u);
+}
+
+}  // namespace
+}  // namespace cafe

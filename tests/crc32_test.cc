@@ -1,0 +1,44 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cafe {
+namespace {
+
+TEST(Crc32Test, EmptyIsZero) {
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 (IEEE) check value.
+  const std::string s = "123456789";
+  EXPECT_EQ(Crc32(s.data(), s.size()), 0xCBF43926u);
+  const std::string abc = "abc";
+  EXPECT_EQ(Crc32(abc.data(), abc.size()), 0x352441C2u);
+}
+
+TEST(Crc32Test, ChunkedEqualsWhole) {
+  const std::string s = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32(s.data(), s.size());
+  uint32_t part = Crc32(s.data(), 10);
+  part = Crc32(s.data() + 10, s.size() - 10, part);
+  EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string s = "hello world";
+  uint32_t before = Crc32(s.data(), s.size());
+  s[3] ^= 1;
+  EXPECT_NE(Crc32(s.data(), s.size()), before);
+}
+
+TEST(Crc32Test, SensitiveToOrder) {
+  const std::string a = "ab";
+  const std::string b = "ba";
+  EXPECT_NE(Crc32(a.data(), 2), Crc32(b.data(), 2));
+}
+
+}  // namespace
+}  // namespace cafe

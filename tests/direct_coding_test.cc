@@ -1,0 +1,152 @@
+#include "seqstore/direct_coding.h"
+
+#include <gtest/gtest.h>
+
+#include "alphabet/nucleotide.h"
+#include "util/random.h"
+
+namespace cafe {
+namespace {
+
+std::string RoundTrip(const std::string& seq) {
+  std::vector<uint8_t> buf;
+  Status s = DirectEncodeAppend(seq, &buf);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  std::string out;
+  s = DirectDecode(buf.data(), buf.size(), &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(DirectCodingTest, EmptySequence) {
+  EXPECT_EQ(RoundTrip(""), "");
+}
+
+TEST(DirectCodingTest, ShortSequences) {
+  for (const char* s : {"A", "C", "G", "T", "AC", "ACG", "ACGT", "ACGTA"}) {
+    EXPECT_EQ(RoundTrip(s), s);
+  }
+}
+
+TEST(DirectCodingTest, PureBases) {
+  EXPECT_EQ(RoundTrip("ACGTACGTACGTACGTACGT"), "ACGTACGTACGTACGTACGT");
+}
+
+TEST(DirectCodingTest, WildcardsPreservedLosslessly) {
+  EXPECT_EQ(RoundTrip("ACGTN"), "ACGTN");
+  EXPECT_EQ(RoundTrip("NNNNN"), "NNNNN");
+  EXPECT_EQ(RoundTrip("NACGT"), "NACGT");
+  EXPECT_EQ(RoundTrip("ACGRYSWKMBDHVNT"), "ACGRYSWKMBDHVNT");
+}
+
+TEST(DirectCodingTest, WildcardAtEveryPosition) {
+  std::string base = "ACGTACGTACGT";
+  for (size_t i = 0; i < base.size(); ++i) {
+    std::string s = base;
+    s[i] = 'N';
+    EXPECT_EQ(RoundTrip(s), s) << "N at " << i;
+  }
+}
+
+TEST(DirectCodingTest, RejectsNonIupac) {
+  std::vector<uint8_t> buf;
+  Status s = DirectEncodeAppend("ACXGT", &buf);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("position 2"), std::string::npos);
+}
+
+TEST(DirectCodingTest, CompressionNearTwoBitsPerBase) {
+  std::string seq(10000, 'A');
+  Rng rng(5);
+  for (char& c : seq) c = CodeToBase(static_cast<int>(rng.Uniform(4)));
+  size_t bytes = DirectEncodedSize(seq);
+  // 2 bits/base = 2500 bytes; header overhead must stay tiny.
+  EXPECT_LT(bytes, 2520u);
+  EXPECT_GE(bytes, 2500u);
+}
+
+TEST(DirectCodingTest, WildcardOverheadModest) {
+  std::string seq(10000, 'A');
+  Rng rng(6);
+  for (char& c : seq) c = CodeToBase(static_cast<int>(rng.Uniform(4)));
+  // GenBank-like 0.02% wildcards.
+  for (size_t i = 0; i < seq.size(); i += 500) seq[i] = 'N';
+  size_t bytes = DirectEncodedSize(seq);
+  EXPECT_LT(bytes, 2600u);
+  EXPECT_EQ(RoundTrip(seq), seq);
+}
+
+TEST(DirectCodingTest, DecodeLengthWithoutPayload) {
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(DirectEncodeAppend("ACGTNACGT", &buf).ok());
+  size_t len = 0;
+  ASSERT_TRUE(DirectDecodeLength(buf.data(), buf.size(), &len).ok());
+  EXPECT_EQ(len, 9u);
+}
+
+TEST(DirectCodingTest, ConcatenatedSequencesSliced) {
+  std::vector<uint8_t> buf;
+  std::vector<size_t> offsets = {0};
+  std::vector<std::string> seqs = {"ACGT", "NNNACGTNNN", "T",
+                                   "ACGTACGTACGTACG"};
+  for (const auto& s : seqs) {
+    ASSERT_TRUE(DirectEncodeAppend(s, &buf).ok());
+    offsets.push_back(buf.size());
+  }
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    std::string out;
+    ASSERT_TRUE(DirectDecode(buf.data() + offsets[i],
+                             offsets[i + 1] - offsets[i], &out)
+                    .ok());
+    EXPECT_EQ(out, seqs[i]);
+  }
+}
+
+TEST(DirectCodingTest, TruncatedPayloadDetected) {
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(DirectEncodeAppend("ACGTACGTACGTACGTACGT", &buf).ok());
+  std::string out;
+  Status s = DirectDecode(buf.data(), buf.size() - 2, &out);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(DirectCodingTest, EmptyBufferDetected) {
+  std::string out;
+  Status s = DirectDecode(nullptr, 0, &out);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(DirectCodingPropertyTest, RandomRoundTrip) {
+  Rng rng(77);
+  const std::string wildcards = "NRYSWKMBDHV";
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.Uniform(500);
+    std::string seq(len, 'A');
+    for (char& c : seq) {
+      if (rng.Bernoulli(0.05)) {
+        c = wildcards[rng.Uniform(wildcards.size())];
+      } else {
+        c = CodeToBase(static_cast<int>(rng.Uniform(4)));
+      }
+    }
+    EXPECT_EQ(RoundTrip(seq), seq);
+  }
+}
+
+TEST(DirectCodingPropertyTest, EncodedSizeMatchesAppend) {
+  Rng rng(88);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t len = rng.Uniform(300);
+    std::string seq(len, 'A');
+    for (char& c : seq) {
+      c = rng.Bernoulli(0.02) ? 'N'
+                              : CodeToBase(static_cast<int>(rng.Uniform(4)));
+    }
+    std::vector<uint8_t> buf;
+    ASSERT_TRUE(DirectEncodeAppend(seq, &buf).ok());
+    EXPECT_EQ(DirectEncodedSize(seq), buf.size());
+  }
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,203 @@
+#include "index/disk_index.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "collection/collection.h"
+#include "search/partitioned.h"
+#include "sim/workload.h"
+#include "util/env.h"
+
+namespace cafe {
+namespace {
+
+struct Fixture {
+  SequenceCollection collection;
+  InvertedIndex index;
+  std::string path;
+  std::vector<sim::PlantedQuery> queries;
+};
+
+Fixture MakeFixture(IndexGranularity granularity =
+                        IndexGranularity::kPositional) {
+  sim::CollectionOptions copt;
+  copt.num_sequences = 50;
+  copt.length_mu = 6.0;
+  copt.length_sigma = 0.4;
+  copt.wildcard_rate = 0.001;
+  copt.seed = 77;
+  sim::WorkloadOptions wopt;
+  wopt.num_queries = 3;
+  wopt.query_length = 150;
+  wopt.homologs_per_query = 3;
+  wopt.seed = 78;
+  Result<sim::PlantedWorkload> wl = sim::BuildPlantedWorkload(copt, wopt);
+  EXPECT_TRUE(wl.ok());
+
+  IndexOptions iopt;
+  iopt.interval_length = 8;
+  iopt.granularity = granularity;
+  Result<InvertedIndex> index = IndexBuilder::Build(wl->collection, iopt);
+  EXPECT_TRUE(index.ok());
+
+  Fixture f;
+  f.collection = std::move(wl->collection);
+  f.index = std::move(*index);
+  f.queries = std::move(wl->queries);
+  f.path = TempDir() + "/cafe_disk_index_test.idx";
+  EXPECT_TRUE(f.index.Save(f.path).ok());
+  return f;
+}
+
+using PostingTuple = std::tuple<uint32_t, uint32_t, std::vector<uint32_t>>;
+
+std::vector<PostingTuple> Collect(const PostingSource& source,
+                                  uint32_t term) {
+  std::vector<PostingTuple> out;
+  source.ScanPostings(term, [&](uint32_t doc, uint32_t tf,
+                                const uint32_t* pos, uint32_t npos) {
+    std::vector<uint32_t> p;
+    if (pos != nullptr) p.assign(pos, pos + npos);
+    out.emplace_back(doc, tf, std::move(p));
+  });
+  return out;
+}
+
+TEST(DiskIndexTest, OpenParsesMetadata) {
+  Fixture f = MakeFixture();
+  Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Open(f.path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ((*disk)->num_docs(), f.index.num_docs());
+  EXPECT_EQ((*disk)->options().interval_length,
+            f.index.options().interval_length);
+  EXPECT_EQ((*disk)->doc_lengths(), f.index.doc_lengths());
+  EXPECT_EQ((*disk)->stats().num_terms, f.index.stats().num_terms);
+  EXPECT_EQ((*disk)->stats().total_postings,
+            f.index.stats().total_postings);
+  ASSERT_TRUE(RemoveFile(f.path).ok());
+}
+
+TEST(DiskIndexTest, EveryTermMatchesInMemoryIndex) {
+  Fixture f = MakeFixture();
+  Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Open(f.path);
+  ASSERT_TRUE(disk.ok());
+  size_t checked = 0;
+  f.index.directory().ForEachTerm([&](uint32_t term, const TermEntry&) {
+    EXPECT_EQ(Collect(**disk, term), Collect(f.index, term))
+        << "term " << term;
+    ++checked;
+  });
+  EXPECT_GT(checked, 100u);
+  ASSERT_TRUE(RemoveFile(f.path).ok());
+}
+
+TEST(DiskIndexTest, DocumentGranularityMatches) {
+  Fixture f = MakeFixture(IndexGranularity::kDocument);
+  Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Open(f.path);
+  ASSERT_TRUE(disk.ok());
+  f.index.directory().ForEachTerm([&](uint32_t term, const TermEntry&) {
+    EXPECT_EQ(Collect(**disk, term), Collect(f.index, term));
+  });
+  ASSERT_TRUE(RemoveFile(f.path).ok());
+}
+
+TEST(DiskIndexTest, UnknownTermIsNoop) {
+  Fixture f = MakeFixture();
+  Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Open(f.path);
+  ASSERT_TRUE(disk.ok());
+  // Find a term with no postings.
+  uint32_t missing = 0;
+  while (f.index.FindTerm(missing) != nullptr) ++missing;
+  EXPECT_TRUE(Collect(**disk, missing).empty());
+  ASSERT_TRUE(RemoveFile(f.path).ok());
+}
+
+TEST(DiskIndexTest, CacheHitsOnRepeatedAccess) {
+  Fixture f = MakeFixture();
+  Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Open(f.path);
+  ASSERT_TRUE(disk.ok());
+  uint32_t term = 0;
+  f.index.directory().ForEachTerm([&](uint32_t t, const TermEntry&) {
+    if (term == 0) term = t;
+  });
+  Collect(**disk, term);
+  EXPECT_EQ((*disk)->cache_stats().misses, 1u);
+  Collect(**disk, term);
+  Collect(**disk, term);
+  EXPECT_EQ((*disk)->cache_stats().hits, 2u);
+  EXPECT_EQ((*disk)->cache_stats().misses, 1u);
+  EXPECT_GT((*disk)->cache_stats().bytes_read, 0u);
+  ASSERT_TRUE(RemoveFile(f.path).ok());
+}
+
+TEST(DiskIndexTest, TinyCacheEvicts) {
+  Fixture f = MakeFixture();
+  // Capacity so small that every distinct term evicts the previous one.
+  Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Open(f.path, 1);
+  ASSERT_TRUE(disk.ok());
+  std::vector<uint32_t> terms;
+  f.index.directory().ForEachTerm([&](uint32_t t, const TermEntry&) {
+    if (terms.size() < 10) terms.push_back(t);
+  });
+  for (uint32_t t : terms) Collect(**disk, t);
+  EXPECT_GT((*disk)->cache_stats().evictions, 0u);
+  // Results stay correct under eviction pressure.
+  for (uint32_t t : terms) {
+    EXPECT_EQ(Collect(**disk, t), Collect(f.index, t));
+  }
+  ASSERT_TRUE(RemoveFile(f.path).ok());
+}
+
+TEST(DiskIndexTest, PartitionedSearchOverDiskIndexMatchesMemory) {
+  Fixture f = MakeFixture();
+  Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Open(f.path);
+  ASSERT_TRUE(disk.ok());
+
+  PartitionedSearch mem_engine(&f.collection, &f.index);
+  PartitionedSearch disk_engine(&f.collection, disk->get());
+  SearchOptions options;
+  options.fine_candidates = 20;
+  for (const sim::PlantedQuery& q : f.queries) {
+    Result<SearchResult> rm = mem_engine.Search(q.sequence, options);
+    Result<SearchResult> rd = disk_engine.Search(q.sequence, options);
+    ASSERT_TRUE(rm.ok() && rd.ok());
+    ASSERT_EQ(rm->hits.size(), rd->hits.size());
+    for (size_t i = 0; i < rm->hits.size(); ++i) {
+      EXPECT_EQ(rm->hits[i].seq_id, rd->hits[i].seq_id);
+      EXPECT_EQ(rm->hits[i].score, rd->hits[i].score);
+    }
+  }
+  ASSERT_TRUE(RemoveFile(f.path).ok());
+}
+
+TEST(DiskIndexTest, MemoryFootprintExcludesBlob) {
+  Fixture f = MakeFixture();
+  Result<std::unique_ptr<DiskIndex>> disk = DiskIndex::Open(f.path, 1 << 10);
+  ASSERT_TRUE(disk.ok());
+  // Resident bytes are bounded by directory + length table + cache
+  // capacity — independent of the postings blob volume.
+  uint64_t bound = f.index.stats().directory_bytes +
+                   f.index.stats().num_terms * 16 + (1 << 10) + 4096;
+  EXPECT_LE((*disk)->MemoryBytes(), bound);
+  ASSERT_TRUE(RemoveFile(f.path).ok());
+}
+
+TEST(DiskIndexTest, MissingFileFails) {
+  EXPECT_TRUE(DiskIndex::Open("/nonexistent/cafe.idx").status().IsIOError());
+}
+
+TEST(DiskIndexTest, CorruptFileFails) {
+  Fixture f = MakeFixture();
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(f.path, &data).ok());
+  data[data.size() / 2] ^= 0x20;
+  std::string bad_path = TempDir() + "/cafe_disk_index_bad.idx";
+  ASSERT_TRUE(WriteStringToFile(bad_path, data).ok());
+  EXPECT_TRUE(DiskIndex::Open(bad_path).status().IsCorruption());
+  ASSERT_TRUE(RemoveFile(f.path).ok());
+  ASSERT_TRUE(RemoveFile(bad_path).ok());
+}
+
+}  // namespace
+}  // namespace cafe

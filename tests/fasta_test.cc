@@ -1,0 +1,131 @@
+#include "collection/fasta.h"
+
+#include <gtest/gtest.h>
+
+#include "util/env.h"
+
+namespace cafe {
+namespace {
+
+TEST(FastaParseTest, SingleRecord) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseFasta(">seq1 a description\nACGT\nACGT\n", &recs).ok());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].id, "seq1");
+  EXPECT_EQ(recs[0].description, "a description");
+  EXPECT_EQ(recs[0].sequence, "ACGTACGT");
+}
+
+TEST(FastaParseTest, MultipleRecords) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(
+      ParseFasta(">a\nAC\nGT\n>b desc two\nTTTT\n>c\nG\n", &recs).ok());
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+  EXPECT_EQ(recs[1].id, "b");
+  EXPECT_EQ(recs[1].description, "desc two");
+  EXPECT_EQ(recs[1].sequence, "TTTT");
+  EXPECT_EQ(recs[2].sequence, "G");
+}
+
+TEST(FastaParseTest, NormalizesCaseAndUracil) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseFasta(">r\nacgu\nNryN\n", &recs).ok());
+  EXPECT_EQ(recs[0].sequence, "ACGTNRYN");
+}
+
+TEST(FastaParseTest, BlankLinesAndWhitespaceTolerated) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseFasta("\n\n>r\n  ACGT  \n\nACGT\n\n", &recs).ok());
+  EXPECT_EQ(recs[0].sequence, "ACGTACGT");
+}
+
+TEST(FastaParseTest, NoTrailingNewline) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseFasta(">r\nACGT", &recs).ok());
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+}
+
+TEST(FastaParseTest, CarriageReturnsTrimmed) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseFasta(">r desc\r\nACGT\r\n", &recs).ok());
+  EXPECT_EQ(recs[0].description, "desc");
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+}
+
+TEST(FastaParseTest, EmptySequenceAllowed) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseFasta(">only_header\n>next\nAC\n", &recs).ok());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_TRUE(recs[0].sequence.empty());
+}
+
+TEST(FastaParseTest, ErrorOnDataBeforeHeader) {
+  std::vector<FastaRecord> recs;
+  Status s = ParseFasta("ACGT\n>r\nAC\n", &recs);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line 1"), std::string::npos);
+}
+
+TEST(FastaParseTest, ErrorOnEmptyHeader) {
+  std::vector<FastaRecord> recs;
+  Status s = ParseFasta(">\nACGT\n", &recs);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(FastaParseTest, ErrorOnInvalidCharacterNamesRecord) {
+  std::vector<FastaRecord> recs;
+  Status s = ParseFasta(">good\nACGT\n>bad\nACZT\n", &recs);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("bad"), std::string::npos);
+  EXPECT_NE(s.message().find("line 4"), std::string::npos);
+}
+
+TEST(FastaParseTest, EmptyInputYieldsNoRecords) {
+  std::vector<FastaRecord> recs = {FastaRecord{}};
+  ASSERT_TRUE(ParseFasta("", &recs).ok());
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST(FastaWriteTest, RoundTrip) {
+  std::vector<FastaRecord> recs = {
+      {"a", "first record", "ACGTACGTNN"},
+      {"b", "", "T"},
+  };
+  std::string text = WriteFasta(recs, 4);
+  std::vector<FastaRecord> back;
+  ASSERT_TRUE(ParseFasta(text, &back).ok());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, recs[0].id);
+  EXPECT_EQ(back[0].description, recs[0].description);
+  EXPECT_EQ(back[0].sequence, recs[0].sequence);
+  EXPECT_EQ(back[1].sequence, "T");
+}
+
+TEST(FastaWriteTest, LineWidthRespected) {
+  std::vector<FastaRecord> recs = {{"a", "", std::string(100, 'A')}};
+  std::string text = WriteFasta(recs, 30);
+  // 100 bases at 30/line -> 4 sequence lines.
+  size_t lines = 0;
+  for (char c : text) lines += (c == '\n');
+  EXPECT_EQ(lines, 5u);  // header + 4
+}
+
+TEST(FastaFileTest, WriteReadFile) {
+  std::string path = TempDir() + "/cafe_fasta_test.fa";
+  std::vector<FastaRecord> recs = {{"x", "d", "ACGTN"}};
+  ASSERT_TRUE(WriteFastaFile(path, recs).ok());
+  std::vector<FastaRecord> back;
+  ASSERT_TRUE(ReadFastaFile(path, &back).ok());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].sequence, "ACGTN");
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(FastaFileTest, ReadMissingFileFails) {
+  std::vector<FastaRecord> recs;
+  EXPECT_TRUE(ReadFastaFile("/nonexistent/x.fa", &recs).IsIOError());
+}
+
+}  // namespace
+}  // namespace cafe

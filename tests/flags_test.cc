@@ -1,0 +1,103 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cafe {
+namespace {
+
+TEST(FlagsTest, EqualsForm) {
+  FlagParser p({"--name=value", "--count=7"});
+  EXPECT_EQ(p.GetString("name", ""), "value");
+  EXPECT_EQ(p.GetInt("count", 0), 7);
+  EXPECT_TRUE(p.Finish().ok());
+}
+
+TEST(FlagsTest, SpaceForm) {
+  FlagParser p({"--name", "value", "--count", "7"});
+  EXPECT_EQ(p.GetString("name", ""), "value");
+  EXPECT_EQ(p.GetInt("count", 0), 7);
+  EXPECT_TRUE(p.Finish().ok());
+}
+
+TEST(FlagsTest, BooleanForms) {
+  FlagParser p({"--verbose", "--color=false", "--fast=yes"});
+  EXPECT_TRUE(p.GetBool("verbose"));
+  EXPECT_FALSE(p.GetBool("color", true));
+  EXPECT_TRUE(p.GetBool("fast"));
+  EXPECT_FALSE(p.GetBool("absent", false));
+  EXPECT_TRUE(p.GetBool("absent2", true));
+  EXPECT_TRUE(p.Finish().ok());
+}
+
+TEST(FlagsTest, BooleanBeforeAnotherFlag) {
+  FlagParser p({"--verbose", "--name=x"});
+  EXPECT_TRUE(p.GetBool("verbose"));
+  EXPECT_EQ(p.GetString("name", ""), "x");
+  EXPECT_TRUE(p.Finish().ok());
+}
+
+TEST(FlagsTest, Positional) {
+  FlagParser p({"search", "--top=5", "ACGT"});
+  EXPECT_EQ(p.GetInt("top", 0), 5);
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "search");
+  EXPECT_EQ(p.positional()[1], "ACGT");
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  FlagParser p({"--top=5", "--", "--not-a-flag"});
+  EXPECT_EQ(p.GetInt("top", 0), 5);
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "--not-a-flag");
+  EXPECT_TRUE(p.Finish().ok());
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagParser p({"--tpo=5"});
+  EXPECT_EQ(p.GetInt("top", 0), 0);
+  Status s = p.Finish();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("tpo"), std::string::npos);
+}
+
+TEST(FlagsTest, BadIntegerRejected) {
+  FlagParser p({"--count=seven"});
+  EXPECT_EQ(p.GetInt("count", 3), 3);
+  EXPECT_TRUE(p.Finish().IsInvalidArgument());
+}
+
+TEST(FlagsTest, BadDoubleRejected) {
+  FlagParser p({"--rate=fast"});
+  EXPECT_EQ(p.GetDouble("rate", 0.5), 0.5);
+  EXPECT_TRUE(p.Finish().IsInvalidArgument());
+}
+
+TEST(FlagsTest, BadBoolRejected) {
+  FlagParser p({"--flag=maybe"});
+  EXPECT_FALSE(p.GetBool("flag"));
+  EXPECT_TRUE(p.Finish().IsInvalidArgument());
+}
+
+TEST(FlagsTest, DoubleValues) {
+  FlagParser p({"--rate=0.25", "--neg=-1.5"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate", 0), 0.25);
+  EXPECT_DOUBLE_EQ(p.GetDouble("neg", 0), -1.5);
+  EXPECT_TRUE(p.Finish().ok());
+}
+
+TEST(FlagsTest, ArgcArgvConstructor) {
+  const char* argv[] = {"prog", "--x=1", "pos"};
+  FlagParser p(3, argv);
+  EXPECT_EQ(p.GetInt("x", 0), 1);
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "pos");
+}
+
+TEST(FlagsTest, HasDetectsPresence) {
+  FlagParser p({"--a=1"});
+  EXPECT_TRUE(p.Has("a"));
+  EXPECT_FALSE(p.Has("b"));
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,139 @@
+#include "collection/genbank.h"
+
+#include <gtest/gtest.h>
+
+#include "collection/collection.h"
+#include "util/env.h"
+
+namespace cafe {
+namespace {
+
+constexpr const char* kSample =
+    "LOCUS       AB000001     45 bp    DNA     linear   PRI\n"
+    "DEFINITION  Homo sapiens test gene,\n"
+    "            complete cds.\n"
+    "ACCESSION   AB000001\n"
+    "FEATURES             Location/Qualifiers\n"
+    "     source          1..45\n"
+    "                     /organism=\"Homo sapiens\"\n"
+    "ORIGIN\n"
+    "        1 gatcctccat atacaacggt atctccacct caggtttaga\n"
+    "       41 tctca\n"
+    "//\n"
+    "LOCUS       AB000002     10 bp    DNA\n"
+    "ORIGIN\n"
+    "        1 acgtnacgta\n"
+    "//\n";
+
+TEST(GenBankParseTest, ParsesRecords) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseGenBank(kSample, &recs).ok());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].id, "AB000001");
+  EXPECT_EQ(recs[0].description,
+            "Homo sapiens test gene, complete cds.");
+  EXPECT_EQ(recs[0].sequence.size(), 45u);
+  EXPECT_EQ(recs[0].sequence.substr(0, 10), "GATCCTCCAT");
+  EXPECT_EQ(recs[0].sequence.substr(40), "TCTCA");
+  EXPECT_EQ(recs[1].id, "AB000002");
+  EXPECT_EQ(recs[1].sequence, "ACGTNACGTA");
+  EXPECT_EQ(recs[1].description, "");
+}
+
+TEST(GenBankParseTest, UracilMapped) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(
+      ParseGenBank("LOCUS X\nORIGIN\n 1 acgu\n//\n", &recs).ok());
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+}
+
+TEST(GenBankParseTest, EmptyInput) {
+  std::vector<FastaRecord> recs = {FastaRecord{}};
+  ASSERT_TRUE(ParseGenBank("", &recs).ok());
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST(GenBankParseTest, ErrorOnDataBeforeLocus) {
+  std::vector<FastaRecord> recs;
+  Status s = ParseGenBank("DEFINITION  orphan\n", &recs);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line 1"), std::string::npos);
+}
+
+TEST(GenBankParseTest, ErrorOnEmptyLocusName) {
+  std::vector<FastaRecord> recs;
+  EXPECT_TRUE(ParseGenBank("LOCUS\nORIGIN\n//\n", &recs)
+                  .IsInvalidArgument());
+}
+
+TEST(GenBankParseTest, ErrorOnInvalidBase) {
+  std::vector<FastaRecord> recs;
+  Status s =
+      ParseGenBank("LOCUS Z\nORIGIN\n 1 acgz\n//\n", &recs);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("'z'"), std::string::npos);
+  EXPECT_NE(s.message().find("Z"), std::string::npos);
+}
+
+TEST(GenBankParseTest, SkipsUnknownSections) {
+  const char* text =
+      "LOCUS A\n"
+      "COMMENT     free text here\n"
+      "            continued comment\n"
+      "ORIGIN\n"
+      " 1 acgt\n"
+      "//\n";
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseGenBank(text, &recs).ok());
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+  EXPECT_EQ(recs[0].description, "");
+}
+
+TEST(GenBankParseTest, MissingTrailingSlashesTolerated) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseGenBank("LOCUS A\nORIGIN\n 1 acgt\n", &recs).ok());
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+}
+
+TEST(GenBankWriteTest, RoundTrip) {
+  std::vector<FastaRecord> recs = {
+      {"SEQ1", "first record", std::string(137, 'A') + "CGTN"},
+      {"SEQ2", "", "ACGT"},
+  };
+  std::string text = WriteGenBank(recs);
+  std::vector<FastaRecord> back;
+  ASSERT_TRUE(ParseGenBank(text, &back).ok()) << text;
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, recs[0].id);
+  EXPECT_EQ(back[0].description, recs[0].description);
+  EXPECT_EQ(back[0].sequence, recs[0].sequence);
+  EXPECT_EQ(back[1].sequence, "ACGT");
+}
+
+TEST(GenBankFileTest, ReadFile) {
+  std::string path = TempDir() + "/cafe_genbank_test.gb";
+  ASSERT_TRUE(WriteStringToFile(path, kSample).ok());
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ReadGenBankFile(path, &recs).ok());
+  EXPECT_EQ(recs.size(), 2u);
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(GenBankFileTest, MissingFileFails) {
+  std::vector<FastaRecord> recs;
+  EXPECT_TRUE(ReadGenBankFile("/nonexistent/x.gb", &recs).IsIOError());
+}
+
+TEST(GenBankIntegrationTest, FeedsCollection) {
+  std::vector<FastaRecord> recs;
+  ASSERT_TRUE(ParseGenBank(kSample, &recs).ok());
+  Result<SequenceCollection> col = SequenceCollection::FromFasta(recs);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->NumSequences(), 2u);
+  std::string seq;
+  ASSERT_TRUE(col->GetSequence(1, &seq).ok());
+  EXPECT_EQ(seq, "ACGTNACGTA");
+}
+
+}  // namespace
+}  // namespace cafe

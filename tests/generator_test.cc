@@ -1,0 +1,241 @@
+#include "sim/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alphabet/nucleotide.h"
+
+namespace cafe::sim {
+namespace {
+
+TEST(CollectionOptionsTest, DefaultsValid) {
+  EXPECT_TRUE(CollectionOptions().Validate().ok());
+}
+
+TEST(CollectionOptionsTest, ValidationCatchesBadValues) {
+  CollectionOptions o;
+  o.num_sequences = 0;
+  o.target_bases = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CollectionOptions();
+  o.min_length = 100;
+  o.max_length = 50;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CollectionOptions();
+  o.composition = {0, 0, 0, 0};
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CollectionOptions();
+  o.wildcard_rate = 0.9;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(GeneratorTest, GeneratesRequestedCount) {
+  CollectionOptions o;
+  o.num_sequences = 37;
+  o.seed = 1;
+  CollectionGenerator gen(o);
+  Result<SequenceCollection> col = gen.Generate();
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->NumSequences(), 37u);
+  EXPECT_GT(col->TotalBases(), 0u);
+}
+
+TEST(GeneratorTest, TargetBasesMode) {
+  CollectionOptions o;
+  o.target_bases = 100000;
+  o.seed = 2;
+  CollectionGenerator gen(o);
+  Result<SequenceCollection> col = gen.Generate();
+  ASSERT_TRUE(col.ok());
+  EXPECT_GE(col->TotalBases(), 100000u);
+  // Overshoot bounded by one max-length sequence.
+  EXPECT_LT(col->TotalBases(), 100000u + o.max_length);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  CollectionOptions o;
+  o.num_sequences = 10;
+  o.seed = 7;
+  Result<SequenceCollection> a = CollectionGenerator(o).Generate();
+  Result<SequenceCollection> b = CollectionGenerator(o).Generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumSequences(), b->NumSequences());
+  for (uint32_t i = 0; i < a->NumSequences(); ++i) {
+    std::string sa, sb;
+    ASSERT_TRUE(a->GetSequence(i, &sa).ok());
+    ASSERT_TRUE(b->GetSequence(i, &sb).ok());
+    EXPECT_EQ(sa, sb);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  CollectionOptions o;
+  o.num_sequences = 5;
+  o.seed = 1;
+  Result<SequenceCollection> a = CollectionGenerator(o).Generate();
+  o.seed = 2;
+  Result<SequenceCollection> b = CollectionGenerator(o).Generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::string sa, sb;
+  ASSERT_TRUE(a->GetSequence(0, &sa).ok());
+  ASSERT_TRUE(b->GetSequence(0, &sb).ok());
+  EXPECT_NE(sa, sb);
+}
+
+TEST(GeneratorTest, LengthBoundsRespected) {
+  CollectionOptions o;
+  o.num_sequences = 200;
+  o.min_length = 100;
+  o.max_length = 2000;
+  o.seed = 3;
+  CollectionGenerator gen(o);
+  Result<SequenceCollection> col = gen.Generate();
+  ASSERT_TRUE(col.ok());
+  for (uint32_t i = 0; i < col->NumSequences(); ++i) {
+    Result<size_t> len = col->SequenceLength(i);
+    ASSERT_TRUE(len.ok());
+    EXPECT_GE(*len, 100u);
+    EXPECT_LE(*len, 2000u);
+  }
+}
+
+TEST(GeneratorTest, CompositionRealized) {
+  CollectionOptions o;
+  o.num_sequences = 1;
+  o.composition = {0.7, 0.1, 0.1, 0.1};
+  o.wildcard_rate = 0;
+  o.min_length = 20000;
+  o.max_length = 20000;
+  o.length_mu = 12.0;  // clamped to max anyway
+  o.seed = 4;
+  CollectionGenerator gen(o);
+  std::string seq = gen.RandomSequence(20000);
+  size_t a_count = 0;
+  for (char c : seq) a_count += (c == 'A');
+  EXPECT_NEAR(a_count / 20000.0, 0.7, 0.03);
+}
+
+TEST(GeneratorTest, WildcardRateRealized) {
+  CollectionOptions o;
+  o.wildcard_rate = 0.01;
+  o.seed = 5;
+  CollectionGenerator gen(o);
+  std::string seq = gen.RandomSequence(50000);
+  size_t wild = 0;
+  for (char c : seq) wild += IsWildcard(c);
+  EXPECT_NEAR(wild / 50000.0, 0.01, 0.004);
+  EXPECT_TRUE(IsValidSequence(seq));
+}
+
+TEST(GeneratorTest, ZeroWildcardRateMeansPureBases) {
+  CollectionOptions o;
+  o.wildcard_rate = 0;
+  o.seed = 6;
+  CollectionGenerator gen(o);
+  std::string seq = gen.RandomSequence(5000);
+  for (char c : seq) EXPECT_TRUE(IsBase(c));
+}
+
+TEST(GeneratorTest, SequencesAreValidIupac) {
+  CollectionOptions o;
+  o.num_sequences = 20;
+  o.wildcard_rate = 0.01;
+  o.seed = 7;
+  Result<SequenceCollection> col = CollectionGenerator(o).Generate();
+  ASSERT_TRUE(col.ok());
+  std::string seq;
+  for (uint32_t i = 0; i < col->NumSequences(); ++i) {
+    ASSERT_TRUE(col->GetSequence(i, &seq).ok());
+    EXPECT_TRUE(IsValidSequence(seq));
+  }
+}
+
+TEST(GeneratorTest, RepeatValidation) {
+  CollectionOptions o;
+  o.repeat_fraction = 0.95;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CollectionOptions();
+  o.repeat_fraction = 0.3;
+  o.repeat_library_size = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = CollectionOptions();
+  o.repeat_fraction = 0.3;
+  o.repeat_divergence = 0.9;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(GeneratorTest, RepeatsCreateSharedSubstrings) {
+  // With a tiny repeat library at zero drift, the same interval content
+  // must recur across many sequences; without repeats it shouldn't.
+  CollectionOptions with;
+  with.num_sequences = 30;
+  with.length_mu = 6.5;
+  with.repeat_fraction = 0.5;
+  with.repeat_library_size = 1;
+  with.repeat_length = 100;
+  with.repeat_divergence = 0.0;
+  with.wildcard_rate = 0;
+  with.seed = 9;
+  CollectionGenerator gen(with);
+  Result<SequenceCollection> col = gen.Generate();
+  ASSERT_TRUE(col.ok());
+
+  // Extract a probe from one sequence's repeat region by finding a
+  // 40-mer that occurs in at least half of the sequences.
+  std::string first;
+  ASSERT_TRUE(col->GetSequence(0, &first).ok());
+  bool found_shared = false;
+  std::string seq;
+  for (size_t start = 0; start + 40 <= first.size() && !found_shared;
+       start += 20) {
+    std::string probe = first.substr(start, 40);
+    uint32_t containing = 0;
+    for (uint32_t i = 0; i < col->NumSequences(); ++i) {
+      ASSERT_TRUE(col->GetSequence(i, &seq).ok());
+      containing += seq.find(probe) != std::string::npos;
+    }
+    found_shared = containing >= col->NumSequences() / 2;
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(GeneratorTest, ZeroRepeatFractionMatchesPlainGeneration) {
+  CollectionOptions o;
+  o.num_sequences = 5;
+  o.repeat_fraction = 0.0;
+  o.seed = 10;
+  CollectionGenerator a(o), b(o);
+  EXPECT_EQ(a.RandomSequenceWithRepeats(500), b.RandomSequence(500));
+}
+
+TEST(GeneratorTest, RepeatSequencesValidIupac) {
+  CollectionOptions o;
+  o.num_sequences = 10;
+  o.repeat_fraction = 0.4;
+  o.wildcard_rate = 0.001;
+  o.seed = 11;
+  Result<SequenceCollection> col = CollectionGenerator(o).Generate();
+  ASSERT_TRUE(col.ok());
+  std::string seq;
+  for (uint32_t i = 0; i < col->NumSequences(); ++i) {
+    ASSERT_TRUE(col->GetSequence(i, &seq).ok());
+    EXPECT_TRUE(IsValidSequence(seq));
+  }
+}
+
+TEST(GeneratorTest, NamesAreUnique) {
+  CollectionOptions o;
+  o.num_sequences = 30;
+  o.seed = 8;
+  Result<SequenceCollection> col = CollectionGenerator(o).Generate();
+  ASSERT_TRUE(col.ok());
+  std::set<std::string> names;
+  for (uint32_t i = 0; i < col->NumSequences(); ++i) {
+    names.insert(col->Name(i));
+  }
+  EXPECT_EQ(names.size(), 30u);
+}
+
+}  // namespace
+}  // namespace cafe::sim

@@ -1,0 +1,189 @@
+#include "index/index_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "collection/collection.h"
+#include "sim/generator.h"
+
+namespace cafe {
+namespace {
+
+Result<SequenceCollection> TestCollection(uint32_t n, uint64_t seed) {
+  sim::CollectionOptions copt;
+  copt.num_sequences = n;
+  copt.length_mu = 5.5;
+  copt.length_sigma = 0.5;
+  copt.wildcard_rate = 0.002;
+  copt.seed = seed;
+  return sim::CollectionGenerator(copt).Generate();
+}
+
+using PostingTuple = std::tuple<uint32_t, uint32_t, std::vector<uint32_t>>;
+
+std::vector<PostingTuple> Collect(const InvertedIndex& index,
+                                  uint32_t term) {
+  std::vector<PostingTuple> out;
+  index.ForEachPosting(term, [&](uint32_t doc, uint32_t tf,
+                                 const uint32_t* pos, uint32_t npos) {
+    std::vector<uint32_t> p;
+    if (pos != nullptr) p.assign(pos, pos + npos);
+    out.emplace_back(doc, tf, std::move(p));
+  });
+  return out;
+}
+
+void ExpectEquivalent(const InvertedIndex& a, const InvertedIndex& b) {
+  EXPECT_EQ(a.num_docs(), b.num_docs());
+  EXPECT_EQ(a.doc_lengths(), b.doc_lengths());
+  EXPECT_EQ(a.stats().num_terms, b.stats().num_terms);
+  EXPECT_EQ(a.stats().total_postings, b.stats().total_postings);
+  a.directory().ForEachTerm([&](uint32_t term, const TermEntry& ea) {
+    const TermEntry* eb = b.FindTerm(term);
+    ASSERT_NE(eb, nullptr) << "term " << term;
+    EXPECT_EQ(ea.doc_count, eb->doc_count) << term;
+    EXPECT_EQ(ea.posting_count, eb->posting_count) << term;
+    EXPECT_EQ(Collect(a, term), Collect(b, term)) << term;
+  });
+}
+
+TEST(IndexMergeTest, ShardedEqualsDirectPositional) {
+  Result<SequenceCollection> col = TestCollection(37, 61);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 6;
+  Result<InvertedIndex> direct = IndexBuilder::Build(*col, options);
+  ASSERT_TRUE(direct.ok());
+  for (uint32_t shard_size : {1u, 7u, 10u, 37u, 100u}) {
+    Result<InvertedIndex> sharded =
+        BuildSharded(*col, options, shard_size);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ExpectEquivalent(*direct, *sharded);
+  }
+}
+
+TEST(IndexMergeTest, ShardedEqualsDirectDocumentGranularity) {
+  Result<SequenceCollection> col = TestCollection(25, 62);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 6;
+  options.granularity = IndexGranularity::kDocument;
+  Result<InvertedIndex> direct = IndexBuilder::Build(*col, options);
+  Result<InvertedIndex> sharded = BuildSharded(*col, options, 8);
+  ASSERT_TRUE(direct.ok() && sharded.ok());
+  ExpectEquivalent(*direct, *sharded);
+}
+
+TEST(IndexMergeTest, ShardedEqualsDirectWithStride) {
+  Result<SequenceCollection> col = TestCollection(20, 63);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 8;
+  options.stride = 4;
+  Result<InvertedIndex> direct = IndexBuilder::Build(*col, options);
+  Result<InvertedIndex> sharded = BuildSharded(*col, options, 6);
+  ASSERT_TRUE(direct.ok() && sharded.ok());
+  ExpectEquivalent(*direct, *sharded);
+}
+
+TEST(IndexMergeTest, MergedSerializedFormRoundTrips) {
+  Result<SequenceCollection> col = TestCollection(15, 64);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 6;
+  Result<InvertedIndex> sharded = BuildSharded(*col, options, 4);
+  ASSERT_TRUE(sharded.ok());
+  std::string data;
+  sharded->Serialize(&data);
+  Result<InvertedIndex> back = InvertedIndex::Deserialize(data);
+  ASSERT_TRUE(back.ok());
+  ExpectEquivalent(*sharded, *back);
+}
+
+TEST(IndexMergeTest, SingleShardIdentity) {
+  Result<SequenceCollection> col = TestCollection(10, 65);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 6;
+  Result<InvertedIndex> direct = IndexBuilder::Build(*col, options);
+  ASSERT_TRUE(direct.ok());
+  std::vector<const InvertedIndex*> shards = {&*direct};
+  Result<InvertedIndex> merged = MergeIndexes(shards, {0});
+  ASSERT_TRUE(merged.ok());
+  ExpectEquivalent(*direct, *merged);
+}
+
+TEST(IndexMergeTest, RejectsMismatchedOptions) {
+  Result<SequenceCollection> col = TestCollection(10, 66);
+  ASSERT_TRUE(col.ok());
+  IndexOptions a;
+  a.interval_length = 6;
+  IndexOptions b;
+  b.interval_length = 8;
+  Result<InvertedIndex> ia = IndexBuilder::Build(*col, a);
+  Result<InvertedIndex> ib = IndexBuilder::Build(*col, b);
+  ASSERT_TRUE(ia.ok() && ib.ok());
+  std::vector<const InvertedIndex*> shards = {&*ia, &*ib};
+  EXPECT_TRUE(MergeIndexes(shards, {0, 10}).status().IsInvalidArgument());
+}
+
+TEST(IndexMergeTest, RejectsBadOffsets) {
+  Result<SequenceCollection> col = TestCollection(10, 67);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 6;
+  Result<InvertedIndex> index = IndexBuilder::Build(*col, options);
+  ASSERT_TRUE(index.ok());
+  std::vector<const InvertedIndex*> shards = {&*index, &*index};
+  // Second shard must start at 10, not 5.
+  EXPECT_TRUE(MergeIndexes(shards, {0, 5}).status().IsInvalidArgument());
+  EXPECT_TRUE(MergeIndexes({}, {}).status().IsInvalidArgument());
+}
+
+TEST(IndexMergeTest, RejectsStoppedShards) {
+  Result<SequenceCollection> col = TestCollection(10, 68);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 6;
+  options.stop_doc_fraction = 0.5;
+  EXPECT_TRUE(BuildSharded(*col, options, 5).status().IsInvalidArgument());
+  Result<InvertedIndex> stopped = IndexBuilder::Build(*col, options);
+  ASSERT_TRUE(stopped.ok());
+  std::vector<const InvertedIndex*> shards = {&*stopped};
+  EXPECT_TRUE(MergeIndexes(shards, {0}).status().IsInvalidArgument());
+}
+
+TEST(IndexMergeTest, RejectsZeroShardSize) {
+  Result<SequenceCollection> col = TestCollection(10, 69);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  EXPECT_TRUE(BuildSharded(*col, options, 0).status().IsInvalidArgument());
+}
+
+TEST(IndexBuilderRangeTest, SubRangeUsesLocalIds) {
+  Result<SequenceCollection> col = TestCollection(12, 70);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 6;
+  Result<InvertedIndex> range =
+      IndexBuilder::BuildRange(*col, options, 4, 8);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->num_docs(), 4u);
+  // Every posting's doc id is local (< 4).
+  range->directory().ForEachTerm([&](uint32_t term, const TermEntry&) {
+    range->ForEachPosting(term, [&](uint32_t doc, uint32_t,
+                                    const uint32_t*, uint32_t) {
+      EXPECT_LT(doc, 4u);
+    });
+  });
+  EXPECT_TRUE(IndexBuilder::BuildRange(*col, options, 8, 8)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(IndexBuilder::BuildRange(*col, options, 0, 13)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cafe

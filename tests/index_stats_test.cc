@@ -1,0 +1,59 @@
+#include "index/index_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "collection/collection.h"
+#include "index/inverted_index.h"
+#include "sim/generator.h"
+
+namespace cafe {
+namespace {
+
+InvertedIndex MakeIndex(IndexGranularity granularity,
+                        double stop_fraction = 1.0) {
+  sim::CollectionOptions copt;
+  copt.num_sequences = 10;
+  copt.length_mu = 5.5;
+  copt.seed = 88;
+  Result<SequenceCollection> col = sim::CollectionGenerator(copt).Generate();
+  EXPECT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 6;
+  options.granularity = granularity;
+  options.stop_doc_fraction = stop_fraction;
+  Result<InvertedIndex> index = IndexBuilder::Build(*col, options);
+  EXPECT_TRUE(index.ok());
+  return std::move(*index);
+}
+
+TEST(IndexStatsFormatTest, ContainsKeyLines) {
+  InvertedIndex index = MakeIndex(IndexGranularity::kPositional);
+  std::string text = FormatIndexStats(index, 10000);
+  EXPECT_NE(text.find("interval length     : 6"), std::string::npos);
+  EXPECT_NE(text.find("granularity         : positional"),
+            std::string::npos);
+  EXPECT_NE(text.find("distinct terms"), std::string::npos);
+  EXPECT_NE(text.find("bits per posting"), std::string::npos);
+  EXPECT_NE(text.find("index / database"), std::string::npos);
+}
+
+TEST(IndexStatsFormatTest, DocumentGranularityLabel) {
+  InvertedIndex index = MakeIndex(IndexGranularity::kDocument);
+  std::string text = FormatIndexStats(index, 0);
+  EXPECT_NE(text.find("granularity         : document"), std::string::npos);
+  // No ratio line without a collection size.
+  EXPECT_EQ(text.find("index / database"), std::string::npos);
+}
+
+TEST(IndexStatsFormatTest, StoppedTermsReportedOnlyWhenPresent) {
+  InvertedIndex plain = MakeIndex(IndexGranularity::kPositional);
+  EXPECT_EQ(FormatIndexStats(plain, 0).find("stopped"), std::string::npos);
+  InvertedIndex stopped = MakeIndex(IndexGranularity::kPositional, 0.2);
+  if (stopped.stats().stopped_terms > 0) {
+    EXPECT_NE(FormatIndexStats(stopped, 0).find("stopped terms"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,125 @@
+// End-to-end integration: generate a GenBank-like collection with planted
+// homologies, persist collection and index to disk, reload both, and run
+// all four engines — verifying the partitioned engine reproduces the
+// exhaustive oracle's answers on the reloaded artifacts.
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "search/blast_like.h"
+#include "search/exhaustive.h"
+#include "search/fasta_like.h"
+#include "search/partitioned.h"
+#include "sim/workload.h"
+#include "util/env.h"
+
+namespace cafe {
+namespace {
+
+TEST(IntegrationTest, FullPipelineThroughDisk) {
+  // 1. Build workload.
+  sim::CollectionOptions copt;
+  copt.num_sequences = 40;
+  copt.length_mu = 6.0;
+  copt.length_sigma = 0.4;
+  copt.wildcard_rate = 0.001;
+  copt.seed = 1001;
+  sim::WorkloadOptions wopt;
+  wopt.num_queries = 3;
+  wopt.query_length = 150;
+  wopt.homologs_per_query = 3;
+  wopt.seed = 1002;
+  Result<sim::PlantedWorkload> wl = sim::BuildPlantedWorkload(copt, wopt);
+  ASSERT_TRUE(wl.ok());
+
+  // 2. Build index; save both artifacts.
+  IndexOptions iopt;
+  iopt.interval_length = 8;
+  Result<InvertedIndex> index = IndexBuilder::Build(wl->collection, iopt);
+  ASSERT_TRUE(index.ok());
+
+  std::string col_path = TempDir() + "/cafe_integration_col.bin";
+  std::string idx_path = TempDir() + "/cafe_integration_idx.bin";
+  ASSERT_TRUE(wl->collection.Save(col_path).ok());
+  ASSERT_TRUE(index->Save(idx_path).ok());
+
+  // 3. Reload from disk.
+  Result<SequenceCollection> col = SequenceCollection::Load(col_path);
+  Result<InvertedIndex> idx = InvertedIndex::Load(idx_path);
+  ASSERT_TRUE(col.ok());
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(col->NumSequences(), wl->collection.NumSequences());
+
+  // 4. Query all engines on the reloaded data.
+  PartitionedSearch part(&*col, &*idx);
+  ExhaustiveSearch exh(&*col);
+  BlastLikeSearch blast(&*col);
+  FastaLikeSearch fasta(&*col);
+
+  SearchOptions options;
+  options.fine_candidates = 25;
+  options.max_results = 10;
+
+  for (const sim::PlantedQuery& q : wl->queries) {
+    Result<SearchResult> rp = part.Search(q.sequence, options);
+    Result<SearchResult> re = exh.Search(q.sequence, options);
+    Result<SearchResult> rb = blast.Search(q.sequence, options);
+    Result<SearchResult> rf = fasta.Search(q.sequence, options);
+    ASSERT_TRUE(rp.ok() && re.ok() && rb.ok() && rf.ok());
+
+    // Every engine finds the strongest planted homologue on top.
+    ASSERT_FALSE(rp->hits.empty());
+    ASSERT_FALSE(re->hits.empty());
+    EXPECT_EQ(rp->hits[0].seq_id, q.true_positives[0]);
+    EXPECT_EQ(re->hits[0].seq_id, q.true_positives[0]);
+    EXPECT_EQ(rb->hits[0].seq_id, q.true_positives[0]);
+    EXPECT_EQ(rf->hits[0].seq_id, q.true_positives[0]);
+
+    // Partitioned search reproduces the oracle's top answers (the
+    // paper's accuracy claim).
+    EXPECT_GE(eval::OverlapAtK(rp->hits, re->hits, 3), 2.0 / 3.0);
+    EXPECT_GE(eval::RecallAtK(rp->hits, q.true_positives, 10), 2.0 / 3.0);
+  }
+
+  ASSERT_TRUE(RemoveFile(col_path).ok());
+  ASSERT_TRUE(RemoveFile(idx_path).ok());
+}
+
+TEST(IntegrationTest, PartitionedDoesLessWorkThanExhaustive) {
+  sim::CollectionOptions copt;
+  copt.num_sequences = 60;
+  copt.length_mu = 6.2;
+  copt.seed = 2001;
+  sim::WorkloadOptions wopt;
+  wopt.num_queries = 2;
+  wopt.query_length = 150;
+  wopt.seed = 2002;
+  Result<sim::PlantedWorkload> wl = sim::BuildPlantedWorkload(copt, wopt);
+  ASSERT_TRUE(wl.ok());
+  IndexOptions iopt;
+  iopt.interval_length = 8;
+  Result<InvertedIndex> index = IndexBuilder::Build(wl->collection, iopt);
+  ASSERT_TRUE(index.ok());
+
+  PartitionedSearch part(&wl->collection, &*index);
+  ExhaustiveSearch exh(&wl->collection);
+  SearchOptions options;
+  options.fine_candidates = 10;
+
+  std::vector<std::string> queries;
+  for (const auto& q : wl->queries) queries.push_back(q.sequence);
+
+  Result<eval::BatchResult> bp = eval::RunBatch(&part, queries, options);
+  Result<eval::BatchResult> be = eval::RunBatch(&exh, queries, options);
+  ASSERT_TRUE(bp.ok() && be.ok());
+
+  // The headline mechanism: orders of magnitude fewer DP cells.
+  EXPECT_LT(bp->aggregate.cells_computed * 10,
+            be->aggregate.cells_computed);
+  EXPECT_LT(bp->aggregate.candidates_aligned,
+            be->aggregate.candidates_aligned);
+}
+
+}  // namespace
+}  // namespace cafe

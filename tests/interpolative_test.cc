@@ -1,0 +1,110 @@
+#include "coding/interpolative.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/codec.h"
+#include "util/random.h"
+
+namespace cafe::coding {
+namespace {
+
+void RoundTrip(const std::vector<uint64_t>& values, uint64_t universe) {
+  BitWriter w;
+  EncodeInterpolative(values, universe, &w);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  std::vector<uint64_t> back;
+  DecodeInterpolative(&r, values.size(), universe, &back);
+  EXPECT_EQ(back, values) << "universe " << universe;
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(InterpolativeTest, Empty) {
+  RoundTrip({}, 100);
+}
+
+TEST(InterpolativeTest, Singleton) {
+  RoundTrip({1}, 1);
+  RoundTrip({5}, 10);
+  RoundTrip({10}, 10);
+}
+
+TEST(InterpolativeTest, DenseRange) {
+  // The whole universe present: every value is forced, zero payload bits.
+  std::vector<uint64_t> all;
+  for (uint64_t v = 1; v <= 64; ++v) all.push_back(v);
+  BitWriter w;
+  EncodeInterpolative(all, 64, &w);
+  EXPECT_EQ(w.bit_count(), 0u);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  std::vector<uint64_t> back;
+  DecodeInterpolative(&r, all.size(), 64, &back);
+  EXPECT_EQ(back, all);
+}
+
+TEST(InterpolativeTest, SparseList) {
+  RoundTrip({3, 900, 90000, 1000000}, 1 << 24);
+}
+
+TEST(InterpolativeTest, BoundaryValues) {
+  RoundTrip({1, 1000000}, 1000000);
+}
+
+TEST(InterpolativeTest, RandomRoundTrips) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t universe = 10 + rng.Uniform(1 << 20);
+    size_t count = 1 + rng.Uniform(200);
+    if (count > universe) count = universe;
+    // Sample distinct sorted values.
+    std::vector<uint64_t> values;
+    uint64_t v = 0;
+    uint64_t headroom = universe - count;
+    for (size_t i = 0; i < count; ++i) {
+      v += 1 + rng.Uniform(headroom / count + 1);
+      values.push_back(v);
+    }
+    ASSERT_LE(values.back(), universe);
+    RoundTrip(values, universe);
+  }
+}
+
+TEST(InterpolativeTest, ClusteredBeatsGolomb) {
+  // A tightly clustered list (runs of consecutive ids) is interpolative
+  // coding's best case; Golomb pays ~per-gap overhead regardless.
+  std::vector<uint64_t> gaps;
+  for (int cluster = 0; cluster < 50; ++cluster) {
+    gaps.push_back(5000);  // jump to the next cluster
+    for (int i = 0; i < 40; ++i) gaps.push_back(1);  // dense run
+  }
+  auto interp = CreateCodec(CodecId::kInterpolative);
+  auto golomb = CreateCodec(CodecId::kGolomb);
+  BitWriter wi, wg;
+  interp->Encode(gaps, &wi);
+  golomb->Encode(gaps, &wg);
+  EXPECT_LT(wi.bit_count(), wg.bit_count());
+}
+
+TEST(InterpolativeTest, MinimalBinaryBits) {
+  EXPECT_EQ(MinimalBinaryBits(1), 0);
+  EXPECT_EQ(MinimalBinaryBits(2), 1);
+  EXPECT_EQ(MinimalBinaryBits(3), 2);
+  EXPECT_EQ(MinimalBinaryBits(4), 2);
+  EXPECT_EQ(MinimalBinaryBits(1024), 10);
+}
+
+TEST(InterpolativeCodecTest, GapInterfaceRoundTrip) {
+  auto codec = CreateCodec(CodecId::kInterpolative);
+  std::vector<uint64_t> gaps = {5, 1, 1, 100, 3, 77, 1};
+  BitWriter w;
+  codec->Encode(gaps, &w);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  std::vector<uint64_t> back;
+  codec->Decode(&r, gaps.size(), &back);
+  EXPECT_EQ(back, gaps);
+}
+
+}  // namespace
+}  // namespace cafe::coding

@@ -1,0 +1,117 @@
+#include "index/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace cafe {
+namespace {
+
+TEST(IntervalTest, EncodeBasic) {
+  // A=0 C=1 G=2 T=3, MSB first: ACGT with n=4 -> 0b00011011 = 27.
+  EXPECT_EQ(EncodeInterval("ACGT", 4), 27);
+  EXPECT_EQ(EncodeInterval("AAAA", 4), 0);
+  EXPECT_EQ(EncodeInterval("TTTT", 4), 255);
+  EXPECT_EQ(EncodeInterval("ACGTA", 4), 27);  // only first n used
+}
+
+TEST(IntervalTest, EncodeRejectsWildcardsAndShortWindows) {
+  EXPECT_EQ(EncodeInterval("ACGN", 4), -1);
+  EXPECT_EQ(EncodeInterval("ACG", 4), -1);
+  EXPECT_EQ(EncodeInterval("ACGT", 3), -1);   // below min length
+  EXPECT_EQ(EncodeInterval("ACGT", 17), -1);  // above max length
+}
+
+TEST(IntervalTest, DecodeInverse) {
+  for (uint32_t term : {0u, 27u, 255u, 123u}) {
+    std::string s = DecodeInterval(term, 4);
+    EXPECT_EQ(EncodeInterval(s, 4), static_cast<int64_t>(term));
+  }
+  EXPECT_EQ(DecodeInterval(27, 4), "ACGT");
+  EXPECT_EQ(DecodeInterval(0, 8), "AAAAAAAA");
+}
+
+TEST(IntervalTest, ExtractAllPositions) {
+  auto hits = ExtractIntervals("ACGTAC", 4);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[0].term, 27u);  // ACGT
+  EXPECT_EQ(hits[1].position, 1u);
+  EXPECT_EQ(static_cast<int64_t>(hits[1].term), EncodeInterval("CGTA", 4));
+  EXPECT_EQ(hits[2].position, 2u);
+  EXPECT_EQ(static_cast<int64_t>(hits[2].term), EncodeInterval("GTAC", 4));
+}
+
+TEST(IntervalTest, ExtractMatchesNaive) {
+  const std::string seq = "ACGTACGGTTCAATGCACGT";
+  for (int n : {4, 5, 8}) {
+    auto hits = ExtractIntervals(seq, n);
+    ASSERT_EQ(hits.size(), seq.size() - n + 1);
+    for (const auto& h : hits) {
+      EXPECT_EQ(static_cast<int64_t>(h.term), EncodeInterval(seq.substr(h.position), n))
+          << "pos " << h.position << " n " << n;
+    }
+  }
+}
+
+TEST(IntervalTest, WildcardWindowsSkipped) {
+  // N at position 4: windows covering it (positions 1..4) are skipped.
+  auto hits = ExtractIntervals("ACGTNACGT", 4);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].position, 5u);
+}
+
+TEST(IntervalTest, AllWildcardsYieldsNothing) {
+  EXPECT_TRUE(ExtractIntervals("NNNNNNNN", 4).empty());
+}
+
+TEST(IntervalTest, ShortSequenceYieldsNothing) {
+  EXPECT_TRUE(ExtractIntervals("ACG", 4).empty());
+  EXPECT_TRUE(ExtractIntervals("", 8).empty());
+}
+
+TEST(IntervalTest, StrideSkipsPositions) {
+  const std::string seq = "ACGTACGTACGTACGT";
+  auto s1 = ExtractIntervals(seq, 4, 1);
+  auto s4 = ExtractIntervals(seq, 4, 4);
+  EXPECT_EQ(s1.size(), 13u);
+  ASSERT_EQ(s4.size(), 4u);
+  for (const auto& h : s4) {
+    EXPECT_EQ(h.position % 4, 0u);
+  }
+}
+
+TEST(IntervalTest, StrideZeroYieldsNothing) {
+  EXPECT_TRUE(ExtractIntervals("ACGTACGT", 4, 0).empty());
+}
+
+TEST(IntervalTest, StrideWithWildcards) {
+  // Stride anchors are absolute positions: a wildcard knocks out the
+  // covering windows but later aligned windows still appear.
+  auto hits = ExtractIntervals("ACGTNNNNACGTACGT", 4, 4);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].position, 8u);
+  EXPECT_EQ(hits[2].position, 12u);
+}
+
+TEST(IntervalTest, MaxLengthUsesFullMask) {
+  std::string seq(20, 'T');
+  auto hits = ExtractIntervals(seq, 16);
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].term, 0xFFFFFFFFu);
+}
+
+TEST(IntervalTest, VocabularyUniverseSizes) {
+  EXPECT_EQ(VocabularyUniverse(4), 256u);
+  EXPECT_EQ(VocabularyUniverse(8), 65536u);
+  EXPECT_EQ(VocabularyUniverse(12), 16777216u);
+}
+
+TEST(IntervalTest, LowerCaseHandled) {
+  auto hits = ExtractIntervals("acgtacgt", 4);
+  EXPECT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].term, 27u);
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,149 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cafe::eval {
+namespace {
+
+std::vector<SearchHit> Hits(std::initializer_list<uint32_t> ids) {
+  std::vector<SearchHit> out;
+  int score = 1000;
+  for (uint32_t id : ids) {
+    SearchHit h;
+    h.seq_id = id;
+    h.score = score--;
+    out.push_back(h);
+  }
+  return out;
+}
+
+TEST(RecallAtKTest, PerfectRecall) {
+  auto hits = Hits({1, 2, 3});
+  EXPECT_DOUBLE_EQ(RecallAtK(hits, {1, 2, 3}, 3), 1.0);
+}
+
+TEST(RecallAtKTest, PartialRecall) {
+  auto hits = Hits({1, 9, 2, 8, 7});
+  EXPECT_DOUBLE_EQ(RecallAtK(hits, {1, 2, 3, 4}, 5), 0.5);
+}
+
+TEST(RecallAtKTest, CutoffMatters) {
+  auto hits = Hits({9, 8, 1});
+  EXPECT_DOUBLE_EQ(RecallAtK(hits, {1}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(hits, {1}, 3), 1.0);
+}
+
+TEST(RecallAtKTest, EmptyRelevantIsPerfect) {
+  EXPECT_DOUBLE_EQ(RecallAtK(Hits({1}), {}, 10), 1.0);
+}
+
+TEST(RecallAtKTest, EmptyHitsIsZero) {
+  EXPECT_DOUBLE_EQ(RecallAtK({}, {1, 2}, 10), 0.0);
+}
+
+TEST(RecallAtKTest, DuplicateRelevantIdsCollapse) {
+  auto hits = Hits({1});
+  EXPECT_DOUBLE_EQ(RecallAtK(hits, {1, 1, 1}, 10), 1.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  auto hits = Hits({1, 2, 3, 9, 8});
+  EXPECT_DOUBLE_EQ(AveragePrecision(hits, {1, 2, 3}), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  auto hits = Hits({9, 8, 7, 1});
+  // Single relevant at rank 4: AP = 1/4.
+  EXPECT_DOUBLE_EQ(AveragePrecision(hits, {1}), 0.25);
+}
+
+TEST(AveragePrecisionTest, Interleaved) {
+  auto hits = Hits({1, 9, 2});
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision(hits, {1, 2}), (1.0 + 2.0 / 3.0) / 2, 1e-12);
+}
+
+TEST(AveragePrecisionTest, MissingRelevantPenalized) {
+  auto hits = Hits({1});
+  EXPECT_NEAR(AveragePrecision(hits, {1, 2}), 0.5, 1e-12);
+}
+
+TEST(AveragePrecisionTest, EmptyRelevantIsPerfect) {
+  EXPECT_DOUBLE_EQ(AveragePrecision(Hits({5}), {}), 1.0);
+}
+
+TEST(PrecisionAtKTest, Basics) {
+  auto hits = Hits({1, 9, 2, 8});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(hits, {1, 2}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(hits, {1, 2}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(hits, {1, 2}, 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(hits, {1, 2}, 0), 0.0);
+  // Short result list: missing slots count as misses.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(Hits({1}), {1}, 10), 0.1);
+}
+
+TEST(PrecisionRecallCurveTest, PointsAtEachRelevantRank) {
+  auto hits = Hits({1, 9, 2});
+  auto curve = PrecisionRecallCurve(hits, {1, 2});
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 1.0);
+  EXPECT_NEAR(curve[1].precision, 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrecisionRecallCurveTest, EmptyRelevant) {
+  EXPECT_TRUE(PrecisionRecallCurve(Hits({1}), {}).empty());
+}
+
+TEST(ElevenPointTest, PerfectRanking) {
+  auto hits = Hits({1, 2, 3});
+  EXPECT_DOUBLE_EQ(ElevenPointAveragePrecision(hits, {1, 2, 3}), 1.0);
+}
+
+TEST(ElevenPointTest, NothingFound) {
+  auto hits = Hits({9, 8});
+  EXPECT_DOUBLE_EQ(ElevenPointAveragePrecision(hits, {1}), 0.0);
+}
+
+TEST(ElevenPointTest, InterpolationUsesBestLaterPrecision) {
+  // Relevant at ranks 2 and 3: precision points (0.5, 0.5), (1.0, 2/3).
+  // Interpolated precision at recall <= 0.5 is max(0.5, 2/3) = 2/3;
+  // at recall in (0.5, 1.0] it is 2/3. So all 11 points = 2/3.
+  auto hits = Hits({9, 1, 2});
+  EXPECT_NEAR(ElevenPointAveragePrecision(hits, {1, 2}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ElevenPointTest, EmptyRelevantIsPerfect) {
+  EXPECT_DOUBLE_EQ(ElevenPointAveragePrecision(Hits({5}), {}), 1.0);
+}
+
+TEST(OverlapAtKTest, IdenticalRankings) {
+  auto a = Hits({1, 2, 3});
+  EXPECT_DOUBLE_EQ(OverlapAtK(a, a, 3), 1.0);
+}
+
+TEST(OverlapAtKTest, DisjointRankings) {
+  EXPECT_DOUBLE_EQ(OverlapAtK(Hits({1, 2}), Hits({3, 4}), 2), 0.0);
+}
+
+TEST(OverlapAtKTest, OrderInsensitiveWithinK) {
+  EXPECT_DOUBLE_EQ(OverlapAtK(Hits({2, 1}), Hits({1, 2}), 2), 1.0);
+}
+
+TEST(OverlapAtKTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(OverlapAtK(Hits({1, 5, 6, 7}), Hits({1, 2, 3, 4}), 4),
+                   0.25);
+}
+
+TEST(OverlapAtKTest, ShortOracleUsesItsLength) {
+  // Oracle has 2 hits, k = 10: denominator is 2.
+  EXPECT_DOUBLE_EQ(OverlapAtK(Hits({1, 2, 9}), Hits({1, 2}), 10), 1.0);
+}
+
+TEST(OverlapAtKTest, EmptyOracleIsPerfect) {
+  EXPECT_DOUBLE_EQ(OverlapAtK(Hits({1}), {}, 5), 1.0);
+}
+
+}  // namespace
+}  // namespace cafe::eval

@@ -1,0 +1,147 @@
+#include "sim/mutation.h"
+
+#include <gtest/gtest.h>
+
+#include "alphabet/nucleotide.h"
+
+namespace cafe::sim {
+namespace {
+
+std::string RandomBases(size_t len, Rng* rng) {
+  std::string s(len, 'A');
+  for (char& c : s) c = CodeToBase(static_cast<int>(rng->Uniform(4)));
+  return s;
+}
+
+size_t HammingLike(const std::string& a, const std::string& b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t diff = 0;
+  for (size_t i = 0; i < n; ++i) diff += (a[i] != b[i]);
+  return diff;
+}
+
+TEST(MutationModelTest, DefaultsValid) {
+  EXPECT_TRUE(MutationModel().Validate().ok());
+}
+
+TEST(MutationModelTest, ValidationCatchesBadRates) {
+  MutationModel m;
+  m.substitution_rate = 1.5;
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+  m = MutationModel();
+  m.indel_extension = 1.0;
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+  m = MutationModel();
+  m.deletion_rate = -0.1;
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+}
+
+TEST(MutationTest, ZeroRatesIdentity) {
+  MutationModel m;
+  m.substitution_rate = 0;
+  m.insertion_rate = 0;
+  m.deletion_rate = 0;
+  Rng rng(1);
+  std::string seq = RandomBases(500, &rng);
+  EXPECT_EQ(Mutate(seq, m, &rng), seq);
+}
+
+TEST(MutationTest, SubstitutionsOnlyPreserveLength) {
+  MutationModel m;
+  m.substitution_rate = 0.2;
+  m.insertion_rate = 0;
+  m.deletion_rate = 0;
+  Rng rng(2);
+  std::string seq = RandomBases(2000, &rng);
+  std::string mut = Mutate(seq, m, &rng);
+  EXPECT_EQ(mut.size(), seq.size());
+  double observed =
+      static_cast<double>(HammingLike(seq, mut)) / seq.size();
+  EXPECT_NEAR(observed, 0.2, 0.04);
+}
+
+TEST(MutationTest, SubstitutionNeverProducesSameBase) {
+  MutationModel m;
+  m.substitution_rate = 1.0;  // substitute every base
+  m.insertion_rate = 0;
+  m.deletion_rate = 0;
+  Rng rng(3);
+  std::string seq = RandomBases(500, &rng);
+  std::string mut = Mutate(seq, m, &rng);
+  ASSERT_EQ(mut.size(), seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_NE(mut[i], seq[i]) << i;
+    EXPECT_TRUE(IsBase(mut[i]));
+  }
+}
+
+TEST(MutationTest, WildcardsPassThroughSubstitution) {
+  MutationModel m;
+  m.substitution_rate = 1.0;
+  m.insertion_rate = 0;
+  m.deletion_rate = 0;
+  Rng rng(4);
+  std::string mut = Mutate("NNNNN", m, &rng);
+  EXPECT_EQ(mut, "NNNNN");  // wildcards have no base code to substitute
+}
+
+TEST(MutationTest, InsertionsGrowSequence) {
+  MutationModel m;
+  m.substitution_rate = 0;
+  m.insertion_rate = 0.1;
+  m.deletion_rate = 0;
+  Rng rng(5);
+  std::string seq = RandomBases(2000, &rng);
+  std::string mut = Mutate(seq, m, &rng);
+  EXPECT_GT(mut.size(), seq.size());
+}
+
+TEST(MutationTest, DeletionsShrinkSequence) {
+  MutationModel m;
+  m.substitution_rate = 0;
+  m.insertion_rate = 0;
+  m.deletion_rate = 0.1;
+  Rng rng(6);
+  std::string seq = RandomBases(2000, &rng);
+  std::string mut = Mutate(seq, m, &rng);
+  EXPECT_LT(mut.size(), seq.size());
+}
+
+TEST(MutationTest, ForDivergenceScalesRates) {
+  MutationModel lo = MutationModel::ForDivergence(0.05);
+  MutationModel hi = MutationModel::ForDivergence(0.30);
+  EXPECT_LT(lo.substitution_rate, hi.substitution_rate);
+  EXPECT_LT(lo.insertion_rate, hi.insertion_rate);
+  EXPECT_TRUE(lo.Validate().ok());
+  EXPECT_TRUE(hi.Validate().ok());
+  EXPECT_NEAR(hi.substitution_rate, 0.24, 1e-9);
+}
+
+TEST(MutationTest, DivergenceRoughlyRealized) {
+  // Identity of mutated vs original (by alignment-free proxy: matched
+  // positions of equal-length substitution-only variant).
+  MutationModel m = MutationModel::ForDivergence(0.10);
+  m.insertion_rate = 0;
+  m.deletion_rate = 0;
+  Rng rng(7);
+  std::string seq = RandomBases(5000, &rng);
+  std::string mut = Mutate(seq, m, &rng);
+  double sub_rate = static_cast<double>(HammingLike(seq, mut)) / seq.size();
+  EXPECT_NEAR(sub_rate, 0.08, 0.02);  // 80% of 0.10
+}
+
+TEST(MutationTest, Deterministic) {
+  MutationModel m = MutationModel::ForDivergence(0.2);
+  Rng r1(42), r2(42);
+  std::string seq = "ACGTACGTACGTACGTACGTACGTACGT";
+  EXPECT_EQ(Mutate(seq, m, &r1), Mutate(seq, m, &r2));
+}
+
+TEST(MutationTest, EmptySequence) {
+  MutationModel m = MutationModel::ForDivergence(0.2);
+  Rng rng(8);
+  EXPECT_EQ(Mutate("", m, &rng), "");
+}
+
+}  // namespace
+}  // namespace cafe::sim

@@ -1,0 +1,132 @@
+#include "alphabet/nucleotide.h"
+
+#include <gtest/gtest.h>
+
+namespace cafe {
+namespace {
+
+TEST(NucleotideTest, BaseCodes) {
+  EXPECT_EQ(BaseToCode('A'), 0);
+  EXPECT_EQ(BaseToCode('C'), 1);
+  EXPECT_EQ(BaseToCode('G'), 2);
+  EXPECT_EQ(BaseToCode('T'), 3);
+  EXPECT_EQ(BaseToCode('a'), 0);
+  EXPECT_EQ(BaseToCode('t'), 3);
+  EXPECT_EQ(BaseToCode('U'), 3);
+  EXPECT_EQ(BaseToCode('u'), 3);
+}
+
+TEST(NucleotideTest, NonBasesHaveNoCode) {
+  EXPECT_EQ(BaseToCode('N'), -1);
+  EXPECT_EQ(BaseToCode('R'), -1);
+  EXPECT_EQ(BaseToCode('X'), -1);
+  EXPECT_EQ(BaseToCode('-'), -1);
+  EXPECT_EQ(BaseToCode(' '), -1);
+}
+
+TEST(NucleotideTest, CodeToBaseRoundTrip) {
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(BaseToCode(CodeToBase(c)), c);
+  }
+}
+
+TEST(NucleotideTest, IsBase) {
+  EXPECT_TRUE(IsBase('A'));
+  EXPECT_TRUE(IsBase('c'));
+  EXPECT_TRUE(IsBase('U'));
+  EXPECT_FALSE(IsBase('N'));
+  EXPECT_FALSE(IsBase('Z'));
+}
+
+TEST(NucleotideTest, IupacClassification) {
+  const std::string wildcards = "RYSWKMBDHVN";
+  for (char c : wildcards) {
+    EXPECT_TRUE(IsIupac(c)) << c;
+    EXPECT_TRUE(IsWildcard(c)) << c;
+    EXPECT_TRUE(IsIupac(static_cast<char>(c + 32))) << c;  // lower case
+  }
+  for (char c : std::string("ACGTU")) {
+    EXPECT_TRUE(IsIupac(c));
+    EXPECT_FALSE(IsWildcard(c));
+  }
+  EXPECT_FALSE(IsIupac('E'));
+  EXPECT_FALSE(IsIupac('?'));
+}
+
+TEST(NucleotideTest, IupacMasks) {
+  EXPECT_EQ(IupacMask('A'), 1);
+  EXPECT_EQ(IupacMask('C'), 2);
+  EXPECT_EQ(IupacMask('G'), 4);
+  EXPECT_EQ(IupacMask('T'), 8);
+  EXPECT_EQ(IupacMask('R'), 1 | 4);   // A or G (purines)
+  EXPECT_EQ(IupacMask('Y'), 2 | 8);   // C or T (pyrimidines)
+  EXPECT_EQ(IupacMask('N'), 15);
+  EXPECT_EQ(IupacMask('V'), 1 | 2 | 4);
+  EXPECT_EQ(IupacMask('Z'), 0);
+}
+
+TEST(NucleotideTest, MaskToIupacInverse) {
+  for (char c : std::string("ACGTRYSWKMBDHVN")) {
+    EXPECT_EQ(MaskToIupac(IupacMask(c)), c) << c;
+  }
+}
+
+TEST(NucleotideTest, Compatibility) {
+  EXPECT_TRUE(IupacCompatible('A', 'A'));
+  EXPECT_FALSE(IupacCompatible('A', 'C'));
+  EXPECT_TRUE(IupacCompatible('N', 'A'));
+  EXPECT_TRUE(IupacCompatible('N', 'T'));
+  EXPECT_TRUE(IupacCompatible('R', 'A'));
+  EXPECT_TRUE(IupacCompatible('R', 'G'));
+  EXPECT_FALSE(IupacCompatible('R', 'C'));
+  EXPECT_FALSE(IupacCompatible('R', 'Y'));  // purines vs pyrimidines
+  EXPECT_TRUE(IupacCompatible('S', 'K'));   // share G
+  EXPECT_FALSE(IupacCompatible('A', 'Z'));  // non-IUPAC never compatible
+}
+
+TEST(NucleotideTest, Complement) {
+  EXPECT_EQ(Complement('A'), 'T');
+  EXPECT_EQ(Complement('T'), 'A');
+  EXPECT_EQ(Complement('C'), 'G');
+  EXPECT_EQ(Complement('G'), 'C');
+  EXPECT_EQ(Complement('N'), 'N');
+  EXPECT_EQ(Complement('R'), 'Y');  // A|G -> T|C
+  EXPECT_EQ(Complement('Y'), 'R');
+  EXPECT_EQ(Complement('S'), 'S');  // C|G self-complementary
+  EXPECT_EQ(Complement('W'), 'W');
+  EXPECT_EQ(Complement('K'), 'M');
+  EXPECT_EQ(Complement('M'), 'K');
+  EXPECT_EQ(Complement('B'), 'V');
+  EXPECT_EQ(Complement('V'), 'B');
+  EXPECT_EQ(Complement('?'), '?');  // passthrough
+}
+
+TEST(NucleotideTest, ReverseComplement) {
+  EXPECT_EQ(ReverseComplement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(ReverseComplement("AAAA"), "TTTT");
+  EXPECT_EQ(ReverseComplement("ACGTN"), "NACGT");
+  EXPECT_EQ(ReverseComplement(""), "");
+  // Involution property.
+  const std::string s = "ACGGTTANRY";
+  EXPECT_EQ(ReverseComplement(ReverseComplement(s)), s);
+}
+
+TEST(NucleotideTest, ValidateSequence) {
+  EXPECT_TRUE(IsValidSequence("ACGT"));
+  EXPECT_TRUE(IsValidSequence("ACGTNRYSWKMBDHV"));
+  EXPECT_TRUE(IsValidSequence(""));
+  EXPECT_FALSE(IsValidSequence("ACGT X"));
+  EXPECT_FALSE(IsValidSequence("ACG-T"));
+}
+
+TEST(NucleotideTest, Normalize) {
+  EXPECT_EQ(NormalizeSequence("acgt"), "ACGT");
+  EXPECT_EQ(NormalizeSequence("ACGU"), "ACGT");
+  EXPECT_EQ(NormalizeSequence("uuu"), "TTT");
+  EXPECT_EQ(NormalizeSequence("nAcGs"), "NACGS");
+  // Invalid characters pass through for the validator to catch.
+  EXPECT_EQ(NormalizeSequence("ac?t"), "AC?T");
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,171 @@
+#include "index/postings.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+
+namespace cafe {
+namespace {
+
+struct DecodedDoc {
+  uint32_t doc;
+  uint32_t tf;
+  std::vector<uint32_t> positions;
+};
+
+std::vector<DecodedDoc> EncodeDecode(const std::vector<uint32_t>& docs,
+                                     const std::vector<uint32_t>& positions,
+                                     uint32_t num_docs,
+                                     IndexGranularity granularity) {
+  BitWriter w;
+  uint32_t param = 0;
+  uint32_t doc_count =
+      EncodePostings(docs.data(), positions.empty() ? nullptr
+                                                    : positions.data(),
+                     docs.size(), num_docs, granularity, &w, &param);
+  std::vector<uint8_t> blob = w.Finish();
+
+  TermEntry entry;
+  entry.bit_offset = 0;
+  entry.doc_count = doc_count;
+  entry.posting_count = static_cast<uint32_t>(docs.size());
+  entry.position_param = param;
+
+  std::vector<DecodedDoc> out;
+  std::vector<uint32_t> pos_buf;
+  DecodePostings(blob.data(), blob.size(), 0, entry, num_docs, granularity,
+                 &pos_buf,
+                 [&](uint32_t doc, uint32_t tf, const uint32_t* pos,
+                     uint32_t npos) {
+                   DecodedDoc d;
+                   d.doc = doc;
+                   d.tf = tf;
+                   if (pos != nullptr) {
+                     d.positions.assign(pos, pos + npos);
+                   }
+                   out.push_back(std::move(d));
+                 });
+  return out;
+}
+
+TEST(PostingsTest, SingleDocSinglePosition) {
+  auto decoded = EncodeDecode({7}, {123}, 100, IndexGranularity::kPositional);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].doc, 7u);
+  EXPECT_EQ(decoded[0].tf, 1u);
+  EXPECT_EQ(decoded[0].positions, (std::vector<uint32_t>{123}));
+}
+
+TEST(PostingsTest, DocZeroPositionZero) {
+  auto decoded = EncodeDecode({0}, {0}, 10, IndexGranularity::kPositional);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].doc, 0u);
+  EXPECT_EQ(decoded[0].positions, (std::vector<uint32_t>{0}));
+}
+
+TEST(PostingsTest, MultipleDocsWithRuns) {
+  std::vector<uint32_t> docs = {2, 2, 2, 5, 9, 9};
+  std::vector<uint32_t> positions = {0, 10, 200, 7, 3, 4};
+  auto decoded = EncodeDecode(docs, positions, 50,
+                              IndexGranularity::kPositional);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].doc, 2u);
+  EXPECT_EQ(decoded[0].tf, 3u);
+  EXPECT_EQ(decoded[0].positions, (std::vector<uint32_t>{0, 10, 200}));
+  EXPECT_EQ(decoded[1].doc, 5u);
+  EXPECT_EQ(decoded[1].positions, (std::vector<uint32_t>{7}));
+  EXPECT_EQ(decoded[2].doc, 9u);
+  EXPECT_EQ(decoded[2].positions, (std::vector<uint32_t>{3, 4}));
+}
+
+TEST(PostingsTest, DocumentGranularityOmitsPositions) {
+  std::vector<uint32_t> docs = {1, 1, 4};
+  auto decoded =
+      EncodeDecode(docs, {}, 10, IndexGranularity::kDocument);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].doc, 1u);
+  EXPECT_EQ(decoded[0].tf, 2u);
+  EXPECT_TRUE(decoded[0].positions.empty());
+  EXPECT_EQ(decoded[1].doc, 4u);
+  EXPECT_EQ(decoded[1].tf, 1u);
+}
+
+TEST(PostingsTest, AdjacentDocs) {
+  std::vector<uint32_t> docs = {0, 1, 2, 3};
+  std::vector<uint32_t> positions = {5, 5, 5, 5};
+  auto decoded = EncodeDecode(docs, positions, 4,
+                              IndexGranularity::kPositional);
+  ASSERT_EQ(decoded.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(decoded[i].doc, i);
+    EXPECT_EQ(decoded[i].positions, (std::vector<uint32_t>{5}));
+  }
+}
+
+TEST(PostingsTest, LastDocInCollection) {
+  auto decoded = EncodeDecode({99}, {0}, 100,
+                              IndexGranularity::kPositional);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].doc, 99u);
+}
+
+TEST(PostingsPropertyTest, RandomListsRoundTrip) {
+  Rng rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint32_t num_docs = 1 + static_cast<uint32_t>(rng.Uniform(500));
+    // Build a random sorted (doc, positions) structure.
+    std::map<uint32_t, std::vector<uint32_t>> entries;
+    size_t num_entries = 1 + rng.Uniform(20);
+    for (size_t i = 0; i < num_entries; ++i) {
+      uint32_t doc = static_cast<uint32_t>(rng.Uniform(num_docs));
+      uint32_t tf = 1 + static_cast<uint32_t>(rng.Uniform(8));
+      auto& positions = entries[doc];
+      positions.clear();
+      uint32_t pos = static_cast<uint32_t>(rng.Uniform(100));
+      for (uint32_t k = 0; k < tf; ++k) {
+        positions.push_back(pos);
+        pos += 1 + static_cast<uint32_t>(rng.Uniform(300));
+      }
+    }
+    std::vector<uint32_t> docs, positions;
+    for (const auto& [doc, plist] : entries) {
+      for (uint32_t p : plist) {
+        docs.push_back(doc);
+        positions.push_back(p);
+      }
+    }
+
+    auto decoded = EncodeDecode(docs, positions, num_docs,
+                                IndexGranularity::kPositional);
+    ASSERT_EQ(decoded.size(), entries.size());
+    size_t i = 0;
+    for (const auto& [doc, plist] : entries) {
+      EXPECT_EQ(decoded[i].doc, doc);
+      EXPECT_EQ(decoded[i].positions, plist);
+      ++i;
+    }
+  }
+}
+
+TEST(PostingsTest, CompressionIsCompact) {
+  // 1000 docs spread over a 10000-doc collection, one position each:
+  // Golomb-coded gaps should land well under 32 bits per posting.
+  Rng rng(9);
+  std::vector<uint32_t> docs;
+  for (uint32_t d = 0; d < 10000; ++d) {
+    if (rng.Bernoulli(0.1)) docs.push_back(d);
+  }
+  std::vector<uint32_t> positions(docs.size(), 100);
+  BitWriter w;
+  uint32_t param = 0;
+  EncodePostings(docs.data(), positions.data(), docs.size(), 10000,
+                 IndexGranularity::kPositional, &w, &param);
+  double bits_per_posting =
+      static_cast<double>(w.bit_count()) / static_cast<double>(docs.size());
+  EXPECT_LT(bits_per_posting, 20.0);
+}
+
+}  // namespace
+}  // namespace cafe

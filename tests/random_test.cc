@@ -1,0 +1,130 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cafe {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformWithinBound) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(13);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.Uniform(10)];
+  for (int c : seen) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(19);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(37);
+  const int n = 20001;
+  std::vector<double> vals(n);
+  for (int i = 0; i < n; ++i) vals[i] = rng.NextLogNormal(6.8, 0.6);
+  std::nth_element(vals.begin(), vals.begin() + n / 2, vals.end());
+  // Median of log-normal is exp(mu) ~= 898.
+  EXPECT_NEAR(vals[n / 2], std::exp(6.8), std::exp(6.8) * 0.1);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(41);
+  const double p = 0.25;
+  double sum = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextGeometric(p));
+  // Mean failures before success: (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, GeometricCertainSuccess) {
+  Rng rng(43);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextGeometric(1.0), 0u);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(47);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> seen(3, 0);
+  for (int i = 0; i < 20000; ++i) ++seen[rng.Categorical(w)];
+  EXPECT_EQ(seen[1], 0);
+  EXPECT_NEAR(seen[2] / static_cast<double>(seen[0]), 3.0, 0.3);
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,241 @@
+#include "seqstore/sequence_store.h"
+
+#include <gtest/gtest.h>
+
+#include "alphabet/nucleotide.h"
+#include "seqstore/plain_store.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace cafe {
+namespace {
+
+std::vector<std::string> SampleSequences() {
+  return {"ACGT", "NNNACGTNNN", "T", "ACGTACGTACGTACG",
+          "GGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGG", ""};
+}
+
+TEST(SequenceStoreTest, AppendAssignsDenseIds) {
+  SequenceStore store;
+  for (uint32_t i = 0; i < 5; ++i) {
+    Result<uint32_t> id = store.Append("ACGT");
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, i);
+  }
+  EXPECT_EQ(store.NumSequences(), 5u);
+  EXPECT_EQ(store.TotalBases(), 20u);
+}
+
+TEST(SequenceStoreTest, GetRoundTrip) {
+  SequenceStore store;
+  auto seqs = SampleSequences();
+  for (const auto& s : seqs) ASSERT_TRUE(store.Append(s).ok());
+  for (uint32_t i = 0; i < seqs.size(); ++i) {
+    std::string out;
+    ASSERT_TRUE(store.Get(i, &out).ok());
+    EXPECT_EQ(out, seqs[i]) << i;
+  }
+}
+
+TEST(SequenceStoreTest, RandomAccessOrderIndependent) {
+  SequenceStore store;
+  auto seqs = SampleSequences();
+  for (const auto& s : seqs) ASSERT_TRUE(store.Append(s).ok());
+  // Access in reverse and repeatedly.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint32_t i = static_cast<uint32_t>(seqs.size()); i-- > 0;) {
+      std::string out;
+      ASSERT_TRUE(store.Get(i, &out).ok());
+      EXPECT_EQ(out, seqs[i]);
+    }
+  }
+}
+
+TEST(SequenceStoreTest, LengthWithoutDecode) {
+  SequenceStore store;
+  ASSERT_TRUE(store.Append("ACGTNACGTA").ok());
+  Result<size_t> len = store.Length(0);
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(*len, 10u);
+}
+
+TEST(SequenceStoreTest, OutOfRangeIdIsNotFound) {
+  SequenceStore store;
+  ASSERT_TRUE(store.Append("ACGT").ok());
+  std::string out;
+  EXPECT_TRUE(store.Get(1, &out).IsNotFound());
+  EXPECT_TRUE(store.Length(7).status().IsNotFound());
+}
+
+TEST(SequenceStoreTest, RejectsInvalidSequence) {
+  SequenceStore store;
+  EXPECT_TRUE(store.Append("AC!GT").status().IsInvalidArgument());
+  EXPECT_EQ(store.NumSequences(), 0u);
+}
+
+TEST(SequenceStoreTest, SerializeDeserializeRoundTrip) {
+  SequenceStore store;
+  auto seqs = SampleSequences();
+  for (const auto& s : seqs) ASSERT_TRUE(store.Append(s).ok());
+  std::string data;
+  store.Serialize(&data);
+  Result<SequenceStore> back = SequenceStore::Deserialize(data);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumSequences(), store.NumSequences());
+  EXPECT_EQ(back->TotalBases(), store.TotalBases());
+  for (uint32_t i = 0; i < seqs.size(); ++i) {
+    std::string out;
+    ASSERT_TRUE(back->Get(i, &out).ok());
+    EXPECT_EQ(out, seqs[i]);
+  }
+}
+
+TEST(SequenceStoreTest, DeserializeDetectsCorruption) {
+  SequenceStore store;
+  ASSERT_TRUE(store.Append("ACGTACGTACGT").ok());
+  std::string data;
+  store.Serialize(&data);
+
+  // Flip a payload byte.
+  std::string bad = data;
+  bad[bad.size() / 2] ^= 0x40;
+  EXPECT_TRUE(SequenceStore::Deserialize(bad).status().IsCorruption());
+
+  // Truncate.
+  EXPECT_TRUE(SequenceStore::Deserialize(
+                  std::string_view(data).substr(0, data.size() - 3))
+                  .status()
+                  .IsCorruption());
+
+  // Bad magic.
+  bad = data;
+  bad[0] = 'X';
+  EXPECT_TRUE(SequenceStore::Deserialize(bad).status().IsCorruption());
+
+  // Empty.
+  EXPECT_TRUE(SequenceStore::Deserialize("").status().IsCorruption());
+}
+
+TEST(SequenceStoreTest, SaveLoadFile) {
+  std::string path = TempDir() + "/cafe_store_test.bin";
+  SequenceStore store;
+  ASSERT_TRUE(store.Append("ACGTNNNN").ok());
+  ASSERT_TRUE(store.Save(path).ok());
+  Result<SequenceStore> back = SequenceStore::Load(path);
+  ASSERT_TRUE(back.ok());
+  std::string out;
+  ASSERT_TRUE(back->Get(0, &out).ok());
+  EXPECT_EQ(out, "ACGTNNNN");
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(SequenceStoreTest, LoadMissingFileIsIOError) {
+  EXPECT_TRUE(SequenceStore::Load("/nonexistent/cafe.bin")
+                  .status()
+                  .IsIOError());
+}
+
+TEST(SequenceStoreTest, CompressionBeatsPlainStore) {
+  Rng rng(3);
+  SequenceStore packed;
+  PlainSequenceStore plain;
+  for (int i = 0; i < 50; ++i) {
+    std::string seq(1000, 'A');
+    for (char& c : seq) c = CodeToBase(static_cast<int>(rng.Uniform(4)));
+    ASSERT_TRUE(packed.Append(seq).ok());
+    ASSERT_TRUE(plain.Append(seq).ok());
+  }
+  // Direct coding stores ~2 bits/base vs 8: expect close to 4x smaller.
+  EXPECT_LT(packed.StorageBytes() * 3, plain.StorageBytes());
+}
+
+TEST(SequenceStoreTest, GetRangeMatchesFullDecode) {
+  Rng rng(12);
+  SequenceStore store;
+  std::string seq(777, 'A');
+  const std::string wildcards = "NRY";
+  for (char& c : seq) {
+    c = rng.Bernoulli(0.03) ? wildcards[rng.Uniform(3)]
+                            : CodeToBase(static_cast<int>(rng.Uniform(4)));
+  }
+  ASSERT_TRUE(store.Append(seq).ok());
+  std::string window;
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t start = rng.Uniform(seq.size());
+    size_t count = rng.Uniform(seq.size() - start + 1);
+    ASSERT_TRUE(store.GetRange(0, start, count, &window).ok());
+    EXPECT_EQ(window, seq.substr(start, count))
+        << "start=" << start << " count=" << count;
+  }
+}
+
+TEST(SequenceStoreTest, GetRangeEdges) {
+  SequenceStore store;
+  ASSERT_TRUE(store.Append("ACGTNACGTA").ok());
+  std::string out;
+  ASSERT_TRUE(store.GetRange(0, 0, 10, &out).ok());
+  EXPECT_EQ(out, "ACGTNACGTA");
+  ASSERT_TRUE(store.GetRange(0, 4, 1, &out).ok());
+  EXPECT_EQ(out, "N");
+  ASSERT_TRUE(store.GetRange(0, 9, 1, &out).ok());
+  EXPECT_EQ(out, "A");
+  ASSERT_TRUE(store.GetRange(0, 3, 0, &out).ok());
+  EXPECT_EQ(out, "");
+  EXPECT_TRUE(store.GetRange(0, 5, 6, &out).IsOutOfRange());
+  EXPECT_TRUE(store.GetRange(0, 11, 0, &out).IsOutOfRange());
+  EXPECT_TRUE(store.GetRange(3, 0, 1, &out).IsNotFound());
+}
+
+TEST(PlainStoreTest, GetRangeMatchesDirectStore) {
+  SequenceStore packed;
+  PlainSequenceStore plain;
+  std::string seq = "ACGTNRYACGTACGTNNACGT";
+  ASSERT_TRUE(packed.Append(seq).ok());
+  ASSERT_TRUE(plain.Append(seq).ok());
+  std::string a, b;
+  for (size_t start = 0; start < seq.size(); start += 3) {
+    size_t count = std::min<size_t>(7, seq.size() - start);
+    ASSERT_TRUE(packed.GetRange(0, start, count, &a).ok());
+    ASSERT_TRUE(plain.GetRange(0, start, count, &b).ok());
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_TRUE(plain.GetRange(0, 20, 5, &a).IsOutOfRange());
+}
+
+TEST(PlainStoreTest, BasicRoundTrip) {
+  PlainSequenceStore store;
+  auto seqs = SampleSequences();
+  for (const auto& s : seqs) ASSERT_TRUE(store.Append(s).ok());
+  EXPECT_EQ(store.NumSequences(), seqs.size());
+  for (uint32_t i = 0; i < seqs.size(); ++i) {
+    std::string out;
+    ASSERT_TRUE(store.Get(i, &out).ok());
+    EXPECT_EQ(out, seqs[i]);
+    Result<size_t> len = store.Length(i);
+    ASSERT_TRUE(len.ok());
+    EXPECT_EQ(*len, seqs[i].size());
+  }
+}
+
+TEST(PlainStoreTest, RejectsInvalidAndOutOfRange) {
+  PlainSequenceStore store;
+  EXPECT_TRUE(store.Append("AC GT").status().IsInvalidArgument());
+  std::string out;
+  EXPECT_TRUE(store.Get(0, &out).IsNotFound());
+}
+
+TEST(StoreInterfaceTest, PolymorphicUse) {
+  SequenceStore packed;
+  PlainSequenceStore plain;
+  for (SequenceStoreInterface* store :
+       std::vector<SequenceStoreInterface*>{&packed, &plain}) {
+    ASSERT_TRUE(store->Append("ACGTN").ok());
+    std::string out;
+    ASSERT_TRUE(store->Get(0, &out).ok());
+    EXPECT_EQ(out, "ACGTN");
+    EXPECT_EQ(store->TotalBases(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,105 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cafe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    Status::Code code;
+    const char* label;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), Status::Code::kInvalidArgument,
+       "Invalid argument"},
+      {Status::NotFound("b"), Status::Code::kNotFound, "Not found"},
+      {Status::Corruption("c"), Status::Code::kCorruption, "Corruption"},
+      {Status::IOError("d"), Status::Code::kIOError, "IO error"},
+      {Status::NotSupported("e"), Status::Code::kNotSupported,
+       "Not supported"},
+      {Status::OutOfRange("f"), Status::Code::kOutOfRange, "Out of range"},
+      {Status::Internal("g"), Status::Code::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.ToString(),
+              std::string(c.label) + ": " + c.status.message());
+  }
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::OK().IsInvalidArgument());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::Corruption("bad checksum at byte 12");
+  EXPECT_EQ(s.message(), "bad checksum at byte 12");
+  EXPECT_EQ(s.ToString(), "Corruption: bad checksum at byte 12");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MutableValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r->push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+Status Helper(bool fail) {
+  CAFE_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Helper(false).ok());
+  Status s = Helper(true);
+  EXPECT_TRUE(s.IsInternal());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+}  // namespace
+}  // namespace cafe

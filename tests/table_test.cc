@@ -1,0 +1,59 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cafe::eval {
+namespace {
+
+TEST(TablePrinterTest, HeaderOnly) {
+  TablePrinter t({"a", "bb"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer_name", "22"});
+  std::string out = t.Render();
+  // All lines equal length (left-padded numerics, right-padded text).
+  std::vector<size_t> lens;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    lens.push_back(end - start);
+    start = end + 1;
+  }
+  ASSERT_EQ(lens.size(), 4u);
+  EXPECT_EQ(lens[0], lens[1]);
+  EXPECT_EQ(lens[1], lens[2]);
+  EXPECT_EQ(lens[2], lens[3]);
+}
+
+TEST(TablePrinterTest, NumericRightAligned) {
+  TablePrinter t({"metric", "count"});
+  t.AddRow({"rows", "7"});
+  t.AddRow({"cols", "1234"});
+  std::string out = t.Render();
+  // "7" right-aligned in a 5-wide column -> preceded by spaces.
+  EXPECT_NE(out.find("    7"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MixedContentTreatedAsText) {
+  TablePrinter t({"h"});
+  t.AddRow({"1.5x faster"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("1.5x faster"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cafe::eval

@@ -1,0 +1,128 @@
+#include "index/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include "index/interval.h"
+
+namespace cafe {
+namespace {
+
+TEST(TermDirectoryTest, EmptyDirectory) {
+  TermDirectory dir(8);
+  EXPECT_EQ(dir.NumTerms(), 0u);
+  EXPECT_EQ(dir.Find(0), nullptr);
+  EXPECT_EQ(dir.Find(65535), nullptr);
+}
+
+TEST(TermDirectoryTest, FindOrCreateDense) {
+  TermDirectory dir(8);
+  TermEntry* e = dir.FindOrCreate(1234);
+  ASSERT_NE(e, nullptr);
+  e->posting_count = 3;
+  e->doc_count = 2;
+  EXPECT_EQ(dir.NumTerms(), 1u);
+  const TermEntry* found = dir.Find(1234);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->posting_count, 3u);
+  EXPECT_EQ(found->doc_count, 2u);
+}
+
+TEST(TermDirectoryTest, ZeroPostingEntriesAreInvisible) {
+  TermDirectory dir(8);
+  dir.FindOrCreate(7);  // created but never given postings
+  EXPECT_EQ(dir.Find(7), nullptr);
+  size_t visited = 0;
+  dir.ForEachTerm([&](uint32_t, const TermEntry&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(TermDirectoryTest, ForEachTermSortedDense) {
+  TermDirectory dir(8);
+  for (uint32_t t : {500u, 3u, 65535u, 100u}) {
+    dir.FindOrCreate(t)->posting_count = t + 1;
+  }
+  std::vector<uint32_t> seen;
+  dir.ForEachTerm([&](uint32_t term, const TermEntry& e) {
+    seen.push_back(term);
+    EXPECT_EQ(e.posting_count, term + 1);
+  });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{3, 100, 500, 65535}));
+}
+
+TEST(TermDirectoryTest, ForEachTermSortedSparse) {
+  TermDirectory dir(14);  // beyond dense limit
+  for (uint32_t t : {99999u, 5u, 1u << 27}) {
+    dir.FindOrCreate(t)->posting_count = 1;
+  }
+  std::vector<uint32_t> seen;
+  dir.ForEachTerm([&](uint32_t term, const TermEntry&) {
+    seen.push_back(term);
+  });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{5, 99999, 1u << 27}));
+}
+
+TEST(TermDirectoryTest, SparseFindMatchesDenseSemantics) {
+  TermDirectory dense(8), sparse(14);
+  for (TermDirectory* dir : {&dense, &sparse}) {
+    dir->FindOrCreate(42)->posting_count = 9;
+    const TermEntry* e = dir->Find(42);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->posting_count, 9u);
+    EXPECT_EQ(dir->Find(43), nullptr);
+    EXPECT_EQ(dir->NumTerms(), 1u);
+  }
+}
+
+TEST(TermDirectoryTest, EraseDense) {
+  TermDirectory dir(8);
+  dir.FindOrCreate(10)->posting_count = 1;
+  dir.FindOrCreate(20)->posting_count = 1;
+  dir.Erase(10);
+  EXPECT_EQ(dir.NumTerms(), 1u);
+  EXPECT_EQ(dir.Find(10), nullptr);
+  ASSERT_NE(dir.Find(20), nullptr);
+  dir.Erase(999);  // absent: no-op
+  EXPECT_EQ(dir.NumTerms(), 1u);
+}
+
+TEST(TermDirectoryTest, EraseSparse) {
+  TermDirectory dir(14);
+  dir.FindOrCreate(10)->posting_count = 1;
+  dir.Erase(10);
+  EXPECT_EQ(dir.NumTerms(), 0u);
+  EXPECT_EQ(dir.Find(10), nullptr);
+}
+
+TEST(TermDirectoryTest, MutableIteration) {
+  TermDirectory dir(8);
+  dir.FindOrCreate(5)->posting_count = 1;
+  dir.FindOrCreate(6)->posting_count = 2;
+  dir.ForEachTermMutable([&](uint32_t, TermEntry* e) {
+    e->bit_offset = 77;
+  });
+  EXPECT_EQ(dir.Find(5)->bit_offset, 77u);
+  EXPECT_EQ(dir.Find(6)->bit_offset, 77u);
+}
+
+TEST(TermDirectoryTest, MemoryBytesNonZero) {
+  TermDirectory dense(8);
+  EXPECT_EQ(dense.MemoryBytes(),
+            VocabularyUniverse(8) * sizeof(TermEntry));
+  TermDirectory sparse(14);
+  sparse.FindOrCreate(1)->posting_count = 1;
+  EXPECT_GT(sparse.MemoryBytes(), 0u);
+}
+
+TEST(TermDirectoryTest, DenseLimitBoundary) {
+  // n = 12 is still dense; n = 13 must use the sparse backend and still
+  // behave identically.
+  TermDirectory at_limit(12);
+  TermDirectory beyond(13);
+  at_limit.FindOrCreate(4096)->posting_count = 2;
+  beyond.FindOrCreate(4096)->posting_count = 2;
+  EXPECT_EQ(at_limit.Find(4096)->posting_count, 2u);
+  EXPECT_EQ(beyond.Find(4096)->posting_count, 2u);
+}
+
+}  // namespace
+}  // namespace cafe

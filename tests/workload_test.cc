@@ -1,0 +1,151 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "alphabet/nucleotide.h"
+
+namespace cafe::sim {
+namespace {
+
+TEST(WorkloadOptionsTest, DefaultsValid) {
+  EXPECT_TRUE(WorkloadOptions().Validate().ok());
+}
+
+TEST(WorkloadOptionsTest, ValidationCatchesBadValues) {
+  WorkloadOptions o;
+  o.num_queries = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = WorkloadOptions();
+  o.query_length = 5;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = WorkloadOptions();
+  o.min_homolog_divergence = 0.5;
+  o.max_homolog_divergence = 0.1;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(PlantedWorkloadTest, StructureAsConfigured) {
+  CollectionOptions copt;
+  copt.num_sequences = 30;
+  copt.seed = 10;
+  WorkloadOptions wopt;
+  wopt.num_queries = 5;
+  wopt.homologs_per_query = 3;
+  wopt.seed = 11;
+  Result<PlantedWorkload> wl = BuildPlantedWorkload(copt, wopt);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_EQ(wl->queries.size(), 5u);
+  // Collection = background + planted.
+  EXPECT_EQ(wl->collection.NumSequences(), 30u + 5u * 3u);
+  for (const PlantedQuery& q : wl->queries) {
+    EXPECT_EQ(q.true_positives.size(), 3u);
+    EXPECT_EQ(q.divergences.size(), 3u);
+    EXPECT_FALSE(q.sequence.empty());
+    EXPECT_TRUE(IsValidSequence(q.sequence));
+    // Divergences ascend (strongest homologue first).
+    for (size_t i = 1; i < q.divergences.size(); ++i) {
+      EXPECT_LE(q.divergences[i - 1], q.divergences[i]);
+    }
+    // Planted ids refer to real sequences.
+    for (uint32_t tp : q.true_positives) {
+      EXPECT_LT(tp, wl->collection.NumSequences());
+      EXPECT_GE(tp, 30u);  // appended after the background
+    }
+  }
+}
+
+TEST(PlantedWorkloadTest, HomologuesContainSimilarRegion) {
+  CollectionOptions copt;
+  copt.num_sequences = 10;
+  copt.seed = 12;
+  WorkloadOptions wopt;
+  wopt.num_queries = 2;
+  wopt.query_length = 100;
+  wopt.homologs_per_query = 2;
+  wopt.min_homolog_divergence = 0.01;
+  wopt.max_homolog_divergence = 0.05;
+  wopt.seed = 13;
+  Result<PlantedWorkload> wl = BuildPlantedWorkload(copt, wopt);
+  ASSERT_TRUE(wl.ok());
+  // Host sequences must be longer than the core region (they have flanks).
+  for (const PlantedQuery& q : wl->queries) {
+    for (uint32_t tp : q.true_positives) {
+      Result<size_t> len = wl->collection.SequenceLength(tp);
+      ASSERT_TRUE(len.ok());
+      EXPECT_GE(*len, 90u);
+    }
+  }
+}
+
+TEST(PlantedWorkloadTest, Deterministic) {
+  CollectionOptions copt;
+  copt.num_sequences = 10;
+  copt.seed = 14;
+  WorkloadOptions wopt;
+  wopt.num_queries = 2;
+  wopt.seed = 15;
+  Result<PlantedWorkload> a = BuildPlantedWorkload(copt, wopt);
+  Result<PlantedWorkload> b = BuildPlantedWorkload(copt, wopt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->queries[0].sequence, b->queries[0].sequence);
+  EXPECT_EQ(a->queries[1].true_positives, b->queries[1].true_positives);
+}
+
+TEST(SampleQueriesTest, ProducesRequestedQueries) {
+  CollectionOptions copt;
+  copt.num_sequences = 20;
+  copt.min_length = 300;
+  copt.length_mu = 6.5;
+  copt.seed = 16;
+  Result<SequenceCollection> col = CollectionGenerator(copt).Generate();
+  ASSERT_TRUE(col.ok());
+  Result<std::vector<std::string>> queries =
+      SampleQueries(*col, 8, 200, 0.05, 17);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), 8u);
+  for (const std::string& q : *queries) {
+    EXPECT_GT(q.size(), 150u);  // indels may shift length slightly
+    EXPECT_LT(q.size(), 250u);
+    EXPECT_TRUE(IsValidSequence(q));
+  }
+}
+
+TEST(SampleQueriesTest, ZeroDivergenceIsExactExcision) {
+  CollectionOptions copt;
+  copt.num_sequences = 5;
+  copt.min_length = 500;
+  copt.length_mu = 6.8;
+  copt.wildcard_rate = 0;
+  copt.seed = 18;
+  Result<SequenceCollection> col = CollectionGenerator(copt).Generate();
+  ASSERT_TRUE(col.ok());
+  Result<std::vector<std::string>> queries =
+      SampleQueries(*col, 3, 100, 0.0, 19);
+  ASSERT_TRUE(queries.ok());
+  // Each query must literally occur in some collection sequence.
+  for (const std::string& q : *queries) {
+    ASSERT_EQ(q.size(), 100u);
+    bool found = false;
+    std::string seq;
+    for (uint32_t i = 0; i < col->NumSequences() && !found; ++i) {
+      ASSERT_TRUE(col->GetSequence(i, &seq).ok());
+      found = seq.find(q) != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SampleQueriesTest, EmptyCollectionFails) {
+  SequenceCollection col;
+  EXPECT_TRUE(
+      SampleQueries(col, 1, 100, 0.0, 1).status().IsInvalidArgument());
+}
+
+TEST(SampleQueriesTest, TooShortSequencesFail) {
+  SequenceCollection col;
+  ASSERT_TRUE(col.Add("short", "", "ACGT").ok());
+  EXPECT_TRUE(SampleQueries(col, 1, 100, 0.0, 1).status().IsInternal());
+}
+
+}  // namespace
+}  // namespace cafe::sim

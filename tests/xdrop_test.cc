@@ -1,0 +1,98 @@
+#include "align/xdrop.h"
+
+#include <gtest/gtest.h>
+
+namespace cafe {
+namespace {
+
+class XDropTest : public ::testing::Test {
+ protected:
+  ScoringScheme scheme_;
+  PairScoreTable table_{scheme_};
+};
+
+TEST_F(XDropTest, SeedOnlyNoExtension) {
+  // Seed surrounded by mismatches: extension stops immediately.
+  std::string q = "CCCCACGTCCCC";
+  std::string t = "GGGGACGTGGGG";
+  UngappedSegment seg = XDropExtend(q, t, 4, 4, 4, table_, 10);
+  EXPECT_EQ(seg.score, 4 * scheme_.match);
+  EXPECT_EQ(seg.query_begin, 4u);
+  EXPECT_EQ(seg.query_end, 8u);
+  EXPECT_EQ(seg.target_begin, 4u);
+  EXPECT_EQ(seg.target_end, 8u);
+}
+
+TEST_F(XDropTest, ExtendsBothDirections) {
+  std::string q = "ACGTACGTACGT";
+  std::string t = q;
+  UngappedSegment seg = XDropExtend(q, t, 4, 4, 4, table_, 20);
+  EXPECT_EQ(seg.score, 12 * scheme_.match);
+  EXPECT_EQ(seg.query_begin, 0u);
+  EXPECT_EQ(seg.query_end, 12u);
+}
+
+TEST_F(XDropTest, ExtensionAtSequenceBoundaries) {
+  std::string q = "ACGT";
+  std::string t = "ACGT";
+  UngappedSegment seg = XDropExtend(q, t, 0, 0, 4, table_, 20);
+  EXPECT_EQ(seg.score, 4 * scheme_.match);
+  EXPECT_EQ(seg.query_begin, 0u);
+  EXPECT_EQ(seg.query_end, 4u);
+}
+
+TEST_F(XDropTest, OffsetSeedPositions) {
+  std::string q = "AAAACGTACGTAAA";
+  std::string t = "GGGGGGGGGCGTACGTGGG";
+  // q[4..8) = "CGTA" matches t[9..13).
+  UngappedSegment seg = XDropExtend(q, t, 4, 9, 4, table_, 10);
+  EXPECT_GE(seg.score, 4 * scheme_.match);
+  EXPECT_GE(static_cast<int>(seg.query_end - seg.query_begin), 4);
+  // The extension keeps the diagonal.
+  EXPECT_EQ(seg.target_begin - seg.query_begin, 5u);
+  EXPECT_EQ(seg.target_end - seg.query_end, 5u);
+}
+
+TEST_F(XDropTest, ToleratesIsolatedMismatch) {
+  // One mismatch inside a long match run: extension should push through
+  // (drop 4 < xdrop 20) and recover.
+  std::string core = "ACGGTTACAGCATTGACCGT";
+  std::string q = core + "ACGT" + core;
+  std::string t = core + "ACCT" + core;  // one mismatch in the middle
+  UngappedSegment seg =
+      XDropExtend(q, t, 0, 0, 4, table_, 20);
+  EXPECT_EQ(seg.query_end, q.size());
+  EXPECT_EQ(seg.score,
+            static_cast<int>(q.size() - 1) * scheme_.match +
+                scheme_.mismatch);
+}
+
+TEST_F(XDropTest, StopsAtMismatchWall) {
+  // With a small xdrop, a run of mismatches terminates the arm before the
+  // distant match region is reached.
+  std::string q = "ACGTACGT" + std::string(10, 'A') + "ACGTACGT";
+  std::string t = "ACGTACGT" + std::string(10, 'C') + "ACGTACGT";
+  UngappedSegment seg = XDropExtend(q, t, 0, 0, 8, table_, 8);
+  EXPECT_EQ(seg.query_begin, 0u);
+  EXPECT_EQ(seg.query_end, 8u);  // did not cross the wall
+  EXPECT_EQ(seg.score, 8 * scheme_.match);
+}
+
+TEST_F(XDropTest, CrossesWallWithLargeXdrop) {
+  std::string q = "ACGTACGT" + std::string(3, 'A') + "ACGTACGT";
+  std::string t = "ACGTACGT" + std::string(3, 'C') + "ACGTACGT";
+  // Drop through the wall: 3 mismatches cost 12; xdrop 20 allows it.
+  UngappedSegment seg = XDropExtend(q, t, 0, 0, 8, table_, 20);
+  EXPECT_EQ(seg.query_end, q.size());
+  EXPECT_EQ(seg.score, 16 * scheme_.match + 3 * scheme_.mismatch);
+}
+
+TEST_F(XDropTest, LengthAccessor) {
+  UngappedSegment seg;
+  seg.query_begin = 3;
+  seg.query_end = 10;
+  EXPECT_EQ(seg.Length(), 7u);
+}
+
+}  // namespace
+}  // namespace cafe

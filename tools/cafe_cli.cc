@@ -1,0 +1,352 @@
+// cafe_cli — command-line front end to the library.
+//
+//   cafe_cli generate --bases 1000000 --out db.fa [--seed N]
+//       [--wildcards RATE]
+//   cafe_cli build --fasta db.fa --collection db.col --index db.idx
+//       [--interval 8] [--stride 1] [--granularity positional|document]
+//       [--stop FRACTION]
+//   cafe_cli info --collection db.col [--index db.idx]
+//   cafe_cli search --collection db.col --index db.idx
+//       (--query ACGT... | --query-file q.fa)
+//       [--top 10] [--candidates 100] [--band 48] [--mode diagonal|hitcount]
+//       [--both-strands] [--evalues] [--traceback] [--disk-index]
+//
+// Exit status 0 on success, 1 on any error (message on stderr).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "align/statistics.h"
+#include "alphabet/nucleotide.h"
+#include "collection/collection.h"
+#include "collection/genbank.h"
+#include "eval/table.h"
+#include "index/disk_index.h"
+#include "index/index_merge.h"
+#include "index/interval.h"
+#include "index/index_stats.h"
+#include "index/inverted_index.h"
+#include "search/partitioned.h"
+#include "sim/generator.h"
+#include "util/flags.h"
+#include "util/stringutil.h"
+#include "util/timer.h"
+
+namespace cafe {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cafe_cli <generate|build|info|terms|search> [flags]\n"
+      "  generate --bases N --out FILE [--seed N] [--wildcards RATE]\n"
+      "  build    (--fasta FILE | --genbank FILE) --collection FILE --index FILE\n"
+      "           [--interval N] [--stride N] [--granularity g] [--stop F]\n"
+      "           [--shards N]\n"
+      "  info     --collection FILE [--index FILE]\n"
+      "  terms    --index FILE [--top N]\n"
+      "  search   --collection FILE --index FILE\n"
+      "           (--query SEQ | --query-file FILE) [--top N]\n"
+      "           [--candidates N] [--band N] [--mode diagonal|hitcount]\n"
+      "           [--both-strands] [--evalues] [--traceback] "
+      "[--disk-index]\n");
+  return 1;
+}
+
+Status CmdGenerate(FlagParser& flags) {
+  sim::CollectionOptions options;
+  options.target_bases =
+      static_cast<uint64_t>(flags.GetInt("bases", 1000000));
+  options.wildcard_rate = flags.GetDouble("wildcards", 0.0002);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::string out = flags.GetString("out", "");
+  CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (out.empty()) {
+    return Status::InvalidArgument("--out is required");
+  }
+
+  sim::CollectionGenerator gen(options);
+  Result<SequenceCollection> col = gen.Generate();
+  if (!col.ok()) return col.status();
+
+  std::vector<FastaRecord> records;
+  records.reserve(col->NumSequences());
+  std::string seq;
+  for (uint32_t i = 0; i < col->NumSequences(); ++i) {
+    CAFE_RETURN_IF_ERROR(col->GetSequence(i, &seq));
+    records.push_back({col->Name(i), col->Description(i), seq});
+  }
+  CAFE_RETURN_IF_ERROR(WriteFastaFile(out, records));
+  std::printf("wrote %u sequences (%s bases) to %s\n", col->NumSequences(),
+              WithCommas(col->TotalBases()).c_str(), out.c_str());
+  return Status::OK();
+}
+
+Status CmdBuild(FlagParser& flags) {
+  std::string fasta = flags.GetString("fasta", "");
+  std::string genbank = flags.GetString("genbank", "");
+  std::string col_path = flags.GetString("collection", "");
+  std::string idx_path = flags.GetString("index", "");
+  IndexOptions options;
+  options.interval_length = static_cast<int>(flags.GetInt("interval", 8));
+  options.stride = static_cast<uint32_t>(flags.GetInt("stride", 1));
+  options.stop_doc_fraction = flags.GetDouble("stop", 1.0);
+  std::string gran = flags.GetString("granularity", "positional");
+  uint32_t shards = static_cast<uint32_t>(flags.GetInt("shards", 0));
+  CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (fasta.empty() == genbank.empty() || col_path.empty() ||
+      idx_path.empty()) {
+    return Status::InvalidArgument(
+        "exactly one of --fasta/--genbank plus --collection and --index "
+        "are required");
+  }
+  if (gran == "document" || gran == "doc") {
+    options.granularity = IndexGranularity::kDocument;
+  } else if (gran != "positional" && gran != "pos") {
+    return Status::InvalidArgument("unknown granularity: " + gran);
+  }
+
+  std::vector<FastaRecord> records;
+  if (!fasta.empty()) {
+    CAFE_RETURN_IF_ERROR(ReadFastaFile(fasta, &records));
+  } else {
+    CAFE_RETURN_IF_ERROR(ReadGenBankFile(genbank, &records));
+  }
+  Result<SequenceCollection> col = SequenceCollection::FromFasta(records);
+  if (!col.ok()) return col.status();
+
+  WallTimer timer;
+  Result<InvertedIndex> index =
+      shards > 1 ? BuildSharded(*col, options,
+                                (col->NumSequences() + shards - 1) / shards)
+                 : IndexBuilder::Build(*col, options);
+  if (!index.ok()) return index.status();
+  CAFE_RETURN_IF_ERROR(col->Save(col_path));
+  CAFE_RETURN_IF_ERROR(index->Save(idx_path));
+  std::printf(
+      "collection: %u sequences, %s bases -> %s\n"
+      "index: %s terms, %s postings, built in %.1fs -> %s (%s)\n",
+      col->NumSequences(), WithCommas(col->TotalBases()).c_str(),
+      col_path.c_str(), WithCommas(index->stats().num_terms).c_str(),
+      WithCommas(index->stats().total_postings).c_str(), timer.Seconds(),
+      idx_path.c_str(), HumanBytes(index->SerializedBytes()).c_str());
+  return Status::OK();
+}
+
+Status CmdInfo(FlagParser& flags) {
+  std::string col_path = flags.GetString("collection", "");
+  std::string idx_path = flags.GetString("index", "");
+  CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (col_path.empty()) {
+    return Status::InvalidArgument("--collection is required");
+  }
+  Result<SequenceCollection> col = SequenceCollection::Load(col_path);
+  if (!col.ok()) return col.status();
+  std::printf("collection %s\n  sequences : %s\n  bases     : %s\n"
+              "  storage   : %s (%.2f bits/base)\n",
+              col_path.c_str(), WithCommas(col->NumSequences()).c_str(),
+              WithCommas(col->TotalBases()).c_str(),
+              HumanBytes(col->StorageBytes()).c_str(),
+              8.0 * static_cast<double>(col->StorageBytes()) /
+                  static_cast<double>(col->TotalBases()));
+  if (!idx_path.empty()) {
+    Result<InvertedIndex> index = InvertedIndex::Load(idx_path);
+    if (!index.ok()) return index.status();
+    std::printf("\nindex %s\n%s", idx_path.c_str(),
+                FormatIndexStats(*index, col->TotalBases()).c_str());
+  }
+  return Status::OK();
+}
+
+// Lists the most frequent intervals — the candidates index stopping
+// would discard, and a window into the collection's repeat structure.
+Status CmdTerms(FlagParser& flags) {
+  std::string idx_path = flags.GetString("index", "");
+  uint32_t top = static_cast<uint32_t>(flags.GetInt("top", 20));
+  CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (idx_path.empty()) {
+    return Status::InvalidArgument("--index is required");
+  }
+  Result<InvertedIndex> index = InvertedIndex::Load(idx_path);
+  if (!index.ok()) return index.status();
+
+  struct TermRow {
+    uint32_t term;
+    uint32_t doc_count;
+    uint32_t posting_count;
+  };
+  std::vector<TermRow> rows;
+  index->directory().ForEachTerm([&](uint32_t term, const TermEntry& e) {
+    rows.push_back({term, e.doc_count, e.posting_count});
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const TermRow& a, const TermRow& b) {
+              if (a.posting_count != b.posting_count) {
+                return a.posting_count > b.posting_count;
+              }
+              return a.term < b.term;
+            });
+  if (rows.size() > top) rows.resize(top);
+
+  int n = index->options().interval_length;
+  eval::TablePrinter table({"interval", "postings", "sequences",
+                            "% of sequences"});
+  for (const TermRow& r : rows) {
+    table.AddRow({DecodeInterval(r.term, n), WithCommas(r.posting_count),
+                  WithCommas(r.doc_count),
+                  FormatDouble(100.0 * r.doc_count / index->num_docs(), 1)});
+  }
+  table.Print();
+  return Status::OK();
+}
+
+Status CmdSearch(FlagParser& flags) {
+  std::string col_path = flags.GetString("collection", "");
+  std::string idx_path = flags.GetString("index", "");
+  std::string query = flags.GetString("query", "");
+  std::string query_file = flags.GetString("query-file", "");
+  SearchOptions options;
+  options.max_results = static_cast<uint32_t>(flags.GetInt("top", 10));
+  options.fine_candidates =
+      static_cast<uint32_t>(flags.GetInt("candidates", 100));
+  options.band = static_cast<int>(flags.GetInt("band", 48));
+  options.search_both_strands = flags.GetBool("both-strands");
+  options.traceback = flags.GetBool("traceback");
+  bool evalues = flags.GetBool("evalues");
+  bool use_disk = flags.GetBool("disk-index");
+  std::string mode = flags.GetString("mode", "diagonal");
+  CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (col_path.empty() || idx_path.empty()) {
+    return Status::InvalidArgument(
+        "--collection and --index are required");
+  }
+  if (query.empty() == query_file.empty()) {
+    return Status::InvalidArgument(
+        "exactly one of --query / --query-file is required");
+  }
+  if (mode == "hitcount" || mode == "hits") {
+    options.coarse_mode = CoarseRankMode::kHitCount;
+  } else if (mode != "diagonal" && mode != "diag") {
+    return Status::InvalidArgument("unknown mode: " + mode);
+  }
+
+  Result<SequenceCollection> col = SequenceCollection::Load(col_path);
+  if (!col.ok()) return col.status();
+
+  std::unique_ptr<DiskIndex> disk;
+  InvertedIndex mem;
+  const PostingSource* source = nullptr;
+  if (use_disk) {
+    Result<std::unique_ptr<DiskIndex>> opened = DiskIndex::Open(idx_path);
+    if (!opened.ok()) return opened.status();
+    disk = std::move(*opened);
+    source = disk.get();
+  } else {
+    Result<InvertedIndex> loaded = InvertedIndex::Load(idx_path);
+    if (!loaded.ok()) return loaded.status();
+    mem = std::move(*loaded);
+    source = &mem;
+  }
+
+  std::vector<std::pair<std::string, std::string>> queries;  // (name, seq)
+  if (!query.empty()) {
+    std::string normalized = NormalizeSequence(query);
+    if (!IsValidSequence(normalized)) {
+      return Status::InvalidArgument("query contains non-IUPAC characters");
+    }
+    queries.emplace_back("query", normalized);
+  } else {
+    std::vector<FastaRecord> records;
+    CAFE_RETURN_IF_ERROR(ReadFastaFile(query_file, &records));
+    for (FastaRecord& rec : records) {
+      queries.emplace_back(rec.id, std::move(rec.sequence));
+    }
+  }
+
+  if (evalues) {
+    Result<GumbelParams> params = CalibrateGumbel(
+        options.scoring, 128, 1024, /*trials=*/50, /*seed=*/1);
+    if (!params.ok()) return params.status();
+    options.statistics = *params;
+  }
+
+  PartitionedSearch engine(&*col, source);
+  for (const auto& [name, q] : queries) {
+    Result<SearchResult> result = SearchWithStrands(&engine, q, options);
+    if (!result.ok()) return result.status();
+    std::printf("query %s (%zu bases): %zu hits in %.1f ms "
+                "(coarse %.1f, fine %.1f)\n",
+                name.c_str(), q.size(), result->hits.size(),
+                result->stats.total_seconds * 1e3,
+                result->stats.coarse_seconds * 1e3,
+                result->stats.fine_seconds * 1e3);
+    std::vector<std::string> headers = {"#", "sequence", "score", "coarse",
+                                        "strand"};
+    if (evalues) {
+      headers.push_back("bits");
+      headers.push_back("evalue");
+    }
+    eval::TablePrinter table(headers);
+    for (size_t i = 0; i < result->hits.size(); ++i) {
+      const SearchHit& h = result->hits[i];
+      std::vector<std::string> row = {
+          std::to_string(i + 1), col->Name(h.seq_id),
+          std::to_string(h.score), FormatDouble(h.coarse_score, 0),
+          h.strand == Strand::kForward ? "+" : "-"};
+      if (evalues) {
+        row.push_back(FormatDouble(h.bit_score, 1));
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2e", h.evalue);
+        row.push_back(buf);
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    if (options.traceback) {
+      std::string target;
+      for (const SearchHit& h : result->hits) {
+        if (h.alignment.ops.empty()) continue;
+        CAFE_RETURN_IF_ERROR(col->GetSequence(h.seq_id, &target));
+        std::string oriented =
+            h.strand == Strand::kForward ? q : ReverseComplement(q);
+        std::printf("\n%s%s\n", col->Name(h.seq_id).c_str(),
+                    h.strand == Strand::kReverse ? " (minus strand)" : "");
+        std::printf("%s", h.alignment.Format(oriented, target).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace cafe
+
+int main(int argc, char** argv) {
+  using namespace cafe;
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  FlagParser flags(argc - 1, argv + 1);
+  Status status;
+  if (cmd == "generate") {
+    status = CmdGenerate(flags);
+  } else if (cmd == "build") {
+    status = CmdBuild(flags);
+  } else if (cmd == "info") {
+    status = CmdInfo(flags);
+  } else if (cmd == "terms") {
+    status = CmdTerms(flags);
+  } else if (cmd == "search") {
+    status = CmdSearch(flags);
+  } else {
+    return Usage();
+  }
+  return status.ok() ? 0 : Fail(status);
+}
