@@ -2,9 +2,15 @@
 //
 // Aligner bundles a scoring scheme with a precomputed 256x256 pair-score
 // table so the O(mn) inner loops are pure table lookups. One Aligner is
-// built per search engine and reused across every candidate sequence.
+// built per search worker and reused across every candidate sequence it
+// scores.
 //
-// Not thread-safe: DP scratch buffers are reused across calls.
+// Reentrancy contract (scratch-per-instance): the const query methods
+// mutate only this instance's DP scratch and cell counter, so distinct
+// Aligner instances are safe to use concurrently — the parallel fine
+// phase gives every worker thread its own Aligner and sums the
+// per-instance cell counts afterwards. A single instance must not be
+// shared across threads without external synchronization.
 
 #ifndef CAFE_ALIGN_SMITH_WATERMAN_H_
 #define CAFE_ALIGN_SMITH_WATERMAN_H_

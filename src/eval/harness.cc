@@ -1,5 +1,7 @@
 #include "eval/harness.h"
 
+#include "util/timer.h"
+
 namespace cafe::eval {
 
 Result<BatchResult> RunBatch(SearchEngine* engine,
@@ -7,12 +9,14 @@ Result<BatchResult> RunBatch(SearchEngine* engine,
                              const SearchOptions& options) {
   BatchResult out;
   out.engine_name = engine->name();
-  out.results.reserve(queries.size());
-  for (const std::string& query : queries) {
-    Result<SearchResult> r = engine->Search(query, options);
-    if (!r.ok()) return r.status();
-    out.aggregate.Accumulate(r->stats);
-    out.results.push_back(std::move(*r));
+  WallTimer wall;
+  Result<std::vector<SearchResult>> results =
+      engine->BatchSearch(queries, options);
+  if (!results.ok()) return results.status();
+  out.wall_seconds = wall.Seconds();
+  out.results = std::move(*results);
+  for (const SearchResult& r : out.results) {
+    out.aggregate.Accumulate(r.stats);
   }
   if (!queries.empty()) {
     out.mean_query_seconds =

@@ -94,13 +94,16 @@ Result<std::unique_ptr<DiskIndex>> DiskIndex::Open(
   return index;
 }
 
-Status DiskIndex::FetchTermBytes(uint32_t term, const TermEntry& entry,
-                                 const CacheEntry** out) const {
+Status DiskIndex::FetchTermBytes(
+    uint32_t term, const TermEntry& entry,
+    std::shared_ptr<std::vector<uint8_t>>* out,
+    uint64_t* first_byte_out) const {
   auto it = cache_.find(term);
   if (it != cache_.end()) {
     ++cache_stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    *out = &it->second;
+    *out = it->second.bytes;
+    *first_byte_out = it->second.first_byte;
     return Status::OK();
   }
   ++cache_stats_.misses;
@@ -117,32 +120,33 @@ Status DiskIndex::FetchTermBytes(uint32_t term, const TermEntry& entry,
 
   CacheEntry cache_entry;
   cache_entry.first_byte = first_byte;
-  cache_entry.bytes.resize(end_byte - first_byte);
+  cache_entry.bytes =
+      std::make_shared<std::vector<uint8_t>>(end_byte - first_byte);
   file_.clear();
   file_.seekg(
       static_cast<std::streamoff>(blob_file_offset_ + first_byte));
-  file_.read(reinterpret_cast<char*>(cache_entry.bytes.data()),
-             static_cast<std::streamsize>(cache_entry.bytes.size()));
+  file_.read(reinterpret_cast<char*>(cache_entry.bytes->data()),
+             static_cast<std::streamsize>(cache_entry.bytes->size()));
   if (!file_) {
     return Status::IOError("disk index: postings read failed");
   }
-  cache_stats_.bytes_read += cache_entry.bytes.size();
+  cache_stats_.bytes_read += cache_entry.bytes->size();
 
   // Insert and evict.
-  cache_bytes_ += cache_entry.bytes.size();
+  cache_bytes_ += cache_entry.bytes->size();
   lru_.push_front(term);
   cache_entry.lru_it = lru_.begin();
-  auto [ins, ok] = cache_.emplace(term, std::move(cache_entry));
-  (void)ok;
+  *out = cache_entry.bytes;
+  *first_byte_out = first_byte;
+  cache_.emplace(term, std::move(cache_entry));
   while (cache_bytes_ > cache_capacity_bytes_ && lru_.size() > 1) {
     uint32_t victim = lru_.back();
     lru_.pop_back();
     auto vit = cache_.find(victim);
-    cache_bytes_ -= vit->second.bytes.size();
+    cache_bytes_ -= vit->second.bytes->size();
     cache_.erase(vit);
     ++cache_stats_.evictions;
   }
-  *out = &ins->second;
   return Status::OK();
 }
 
@@ -150,17 +154,25 @@ void DiskIndex::ScanPostings(uint32_t term,
                              const PostingCallback& fn) const {
   const TermEntry* e = directory_.Find(term);
   if (e == nullptr) return;
-  const CacheEntry* cached = nullptr;
-  Status s = FetchTermBytes(term, *e, &cached);
-  if (!s.ok()) return;  // I/O failure: treat as no postings (CRC-checked
-                        // at open, so this indicates a vanished file)
-  uint64_t local_bit_offset = e->bit_offset - cached->first_byte * 8;
-  DecodePostings(cached->bytes.data(), cached->bytes.size(),
-                 local_bit_offset, *e, num_docs(), options_.granularity,
-                 &pos_buf_, fn);
+  std::shared_ptr<std::vector<uint8_t>> bytes;
+  uint64_t first_byte = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status s = FetchTermBytes(term, *e, &bytes, &first_byte);
+    if (!s.ok()) return;  // I/O failure: treat as no postings
+                          // (CRC-checked at open, so this indicates a
+                          // vanished file)
+  }
+  // Decode outside the lock: `bytes` is pinned by shared ownership even
+  // if the entry gets evicted meanwhile, and the scratch is per-thread.
+  uint64_t local_bit_offset = e->bit_offset - first_byte * 8;
+  static thread_local std::vector<uint32_t> pos_buf;
+  DecodePostings(bytes->data(), bytes->size(), local_bit_offset, *e,
+                 num_docs(), options_.granularity, &pos_buf, fn);
 }
 
 uint64_t DiskIndex::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return directory_.MemoryBytes() + cache_bytes_ +
          bit_lengths_.size() * 16;
 }

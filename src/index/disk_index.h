@@ -11,6 +11,14 @@
 // This makes the fundamental trade measurable (bench E3): slightly slower
 // coarse phases in exchange for steady-state memory independent of the
 // postings volume.
+//
+// Reentrancy contract: ScanPostings and the other const query methods
+// are safe for concurrent use. File reads and cache bookkeeping are
+// serialized behind an internal mutex; cached list bytes are
+// shared_ptr-owned so decoding proceeds outside the lock even if the
+// entry is evicted concurrently. cache_stats()/MemoryBytes() return a
+// consistent snapshot but should be read when no queries are in flight
+// if exact totals matter.
 
 #ifndef CAFE_INDEX_DISK_INDEX_H_
 #define CAFE_INDEX_DISK_INDEX_H_
@@ -19,6 +27,7 @@
 #include <fstream>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,7 +66,10 @@ class DiskIndex final : public PostingSource {
 
   const std::vector<uint32_t>& doc_lengths() const { return doc_lengths_; }
   const IndexStats& stats() const { return stats_; }
-  const CacheStats& cache_stats() const { return cache_stats_; }
+  CacheStats cache_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_stats_;
+  }
 
   /// Resident bytes: directory + current cache contents.
   uint64_t MemoryBytes() const;
@@ -66,14 +78,19 @@ class DiskIndex final : public PostingSource {
   DiskIndex() : directory_(4) {}
 
   struct CacheEntry {
-    std::vector<uint8_t> bytes;
+    // Shared ownership lets a scan keep decoding a list that another
+    // thread's insertion just evicted.
+    std::shared_ptr<std::vector<uint8_t>> bytes;
     uint64_t first_byte = 0;  // blob-relative offset of bytes[0]
     std::list<uint32_t>::iterator lru_it;
   };
 
   /// Fetches (or returns cached) raw bytes covering the term's list.
+  /// Requires mu_ held; *out keeps the bytes alive after the lock is
+  /// released.
   Status FetchTermBytes(uint32_t term, const TermEntry& entry,
-                        const CacheEntry** out) const;
+                        std::shared_ptr<std::vector<uint8_t>>* out,
+                        uint64_t* first_byte) const;
 
   IndexOptions options_;
   std::vector<uint32_t> doc_lengths_;
@@ -89,13 +106,15 @@ class DiskIndex final : public PostingSource {
   // term order, so lengths are differences).
   std::unordered_map<uint32_t, uint64_t> bit_lengths_;
 
-  // LRU cache over term byte ranges.
+  // LRU cache over term byte ranges. mu_ guards the file stream, the
+  // cache structures and the stats; postings decoding happens outside
+  // the lock on the fetched bytes.
+  mutable std::mutex mu_;
   size_t cache_capacity_bytes_;
   mutable size_t cache_bytes_ = 0;
   mutable std::list<uint32_t> lru_;  // front = most recently used
   mutable std::unordered_map<uint32_t, CacheEntry> cache_;
   mutable CacheStats cache_stats_;
-  mutable std::vector<uint32_t> pos_buf_;
 };
 
 }  // namespace cafe

@@ -1,8 +1,10 @@
 #include "index/index_merge.h"
 
+#include <algorithm>
 #include <map>
 
 #include "collection/collection.h"
+#include "util/thread_pool.h"
 
 namespace cafe {
 
@@ -112,7 +114,8 @@ Result<InvertedIndex> MergeIndexes(
 
 Result<InvertedIndex> BuildSharded(const SequenceCollection& collection,
                                    const IndexOptions& options,
-                                   uint32_t docs_per_shard) {
+                                   uint32_t docs_per_shard,
+                                   unsigned threads) {
   if (docs_per_shard == 0) {
     return Status::InvalidArgument("docs_per_shard must be positive");
   }
@@ -125,21 +128,63 @@ Result<InvertedIndex> BuildSharded(const SequenceCollection& collection,
     return Status::InvalidArgument("cannot index an empty collection");
   }
 
-  std::vector<InvertedIndex> shards;
-  std::vector<uint32_t> offsets;
-  for (uint32_t begin = 0; begin < num_docs; begin += docs_per_shard) {
+  const size_t num_shards =
+      (num_docs + docs_per_shard - 1) / docs_per_shard;
+  std::vector<InvertedIndex> shards(num_shards);
+  std::vector<uint32_t> offsets(num_shards);
+  std::vector<Status> errors(num_shards, Status::OK());
+  for (size_t s = 0; s < num_shards; ++s) {
+    offsets[s] = static_cast<uint32_t>(s) * docs_per_shard;
+  }
+
+  // Shards cover disjoint document ranges, so their builds (the
+  // per-sequence interval extraction) are independent; the merge below
+  // stays sequential and term-ordered, so the merged index is identical
+  // in content no matter how many workers built the shards.
+  if (threads == 0) threads = ThreadPool::HardwareThreads();
+  auto build_shard = [&](size_t s) {
+    uint32_t begin = offsets[s];
     uint32_t end = std::min(num_docs, begin + docs_per_shard);
     Result<InvertedIndex> shard =
         IndexBuilder::BuildRange(collection, options, begin, end);
-    if (!shard.ok()) return shard.status();
-    offsets.push_back(begin);
-    shards.push_back(std::move(*shard));
+    if (shard.ok()) {
+      shards[s] = std::move(*shard);
+    } else {
+      errors[s] = shard.status();
+    }
+  };
+  if (threads > 1 && num_shards > 1) {
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<size_t>(threads, num_shards)));
+    pool.ParallelFor(num_shards,
+                     [&](size_t s, unsigned /*worker*/) { build_shard(s); });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) build_shard(s);
+  }
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
   }
 
   std::vector<const InvertedIndex*> shard_ptrs;
   shard_ptrs.reserve(shards.size());
   for (const InvertedIndex& s : shards) shard_ptrs.push_back(&s);
   return MergeIndexes(shard_ptrs, offsets);
+}
+
+Result<InvertedIndex> IndexBuilder::BuildParallel(
+    const SequenceCollection& collection, const IndexOptions& options,
+    unsigned threads) {
+  CAFE_RETURN_IF_ERROR(options.Validate());
+  if (threads == 0) threads = ThreadPool::HardwareThreads();
+  const uint32_t num_docs = collection.NumSequences();
+  // Stopping is a whole-collection decision, so stopped indexes must be
+  // built directly; tiny collections are not worth the shard overhead.
+  if (threads <= 1 || options.stop_doc_fraction < 1.0 ||
+      num_docs < 2 * threads) {
+    return Build(collection, options);
+  }
+  const uint32_t docs_per_shard = (num_docs + threads - 1) / threads;
+  return BuildSharded(collection, options, docs_per_shard, threads);
 }
 
 }  // namespace cafe

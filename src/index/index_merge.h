@@ -29,10 +29,14 @@ Result<InvertedIndex> MergeIndexes(
     const std::vector<uint32_t>& doc_offsets);
 
 /// Builds an index over `collection` in shards of `docs_per_shard`
-/// sequences and merges them.
+/// sequences and merges them. With `threads` > 1 (0 = hardware threads)
+/// the shards are built concurrently — each covers a disjoint document
+/// range — and then merged sequentially, so the output is identical to
+/// the single-threaded build.
 Result<InvertedIndex> BuildSharded(const SequenceCollection& collection,
                                    const IndexOptions& options,
-                                   uint32_t docs_per_shard);
+                                   uint32_t docs_per_shard,
+                                   unsigned threads = 1);
 
 }  // namespace cafe
 

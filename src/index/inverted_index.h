@@ -1,6 +1,13 @@
 // The compressed inverted interval index — the data structure the paper
 // contributes. Maps every interval term to a compressed postings list over
 // the collection; the coarse search phase drives its ForEachPosting.
+//
+// Reentrancy contract: once built (or loaded), the const query surface —
+// FindTerm, ScanPostings, ForEachPosting, num_docs, doc_length(s),
+// options, stats — is safe for concurrent use from any number of
+// threads; postings decoding uses a thread-local scratch buffer and
+// everything else is read-only. Serialize/SerializedBytes maintain a
+// cached size and are not part of that concurrent-safe surface.
 
 #ifndef CAFE_INDEX_INVERTED_INDEX_H_
 #define CAFE_INDEX_INVERTED_INDEX_H_
@@ -78,14 +85,16 @@ class InvertedIndex final : public PostingSource {
 
   /// Streams the postings of `term`:
   /// fn(doc, tf, positions, npos); positions is nullptr at document
-  /// granularity. No-op for unindexed terms. Not thread-safe (reuses an
-  /// internal position buffer).
+  /// granularity. No-op for unindexed terms. Safe for concurrent calls:
+  /// the position scratch is thread-local, so each searching thread
+  /// reuses its own buffer across terms without synchronization.
   template <typename Fn>
   void ForEachPosting(uint32_t term, Fn&& fn) const {
     const TermEntry* e = directory_.Find(term);
     if (e == nullptr) return;
+    static thread_local std::vector<uint32_t> pos_buf;
     DecodePostings(blob_.data(), blob_.size(), e->bit_offset, *e,
-                   num_docs(), options_.granularity, &pos_buf_,
+                   num_docs(), options_.granularity, &pos_buf,
                    std::forward<Fn>(fn));
   }
 
@@ -117,7 +126,6 @@ class InvertedIndex final : public PostingSource {
   TermDirectory directory_;
   std::vector<uint8_t> blob_;
   IndexStats stats_;
-  mutable std::vector<uint32_t> pos_buf_;
   mutable uint64_t serialized_bytes_cache_ = 0;
 };
 
@@ -133,6 +141,18 @@ class IndexBuilder {
   static Result<InvertedIndex> BuildRange(
       const SequenceCollection& collection, const IndexOptions& options,
       uint32_t doc_begin, uint32_t doc_end);
+
+  /// Parallel build: per-sequence interval extraction runs over `threads`
+  /// workers (0 = hardware threads), each indexing a contiguous shard of
+  /// the collection, followed by a sequential term-by-term merge. The
+  /// result is identical in content to Build. Falls back to the
+  /// sequential Build when threads <= 1, the collection is small, or
+  /// index stopping is requested (stopping is a whole-collection
+  /// decision, incompatible with per-shard builds). Implemented in
+  /// index_merge.cc.
+  static Result<InvertedIndex> BuildParallel(
+      const SequenceCollection& collection, const IndexOptions& options,
+      unsigned threads);
 };
 
 }  // namespace cafe

@@ -37,7 +37,11 @@ class PostingSource {
   virtual const TermEntry* FindTerm(uint32_t term) const = 0;
 
   /// Streams the postings of `term` through `fn`; no-op for unindexed
-  /// terms. Not required to be thread-safe.
+  /// terms. Implementations must be safe for concurrent calls from
+  /// multiple search threads — the parallel query layer (BatchSearch)
+  /// issues coarse-phase scans from every worker. InvertedIndex decodes
+  /// with thread-local scratch; DiskIndex serializes its file reads and
+  /// cache updates behind a mutex and decodes outside the lock.
   virtual void ScanPostings(uint32_t term, const PostingCallback& fn)
       const = 0;
 };

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "alphabet/nucleotide.h"
+#include "util/thread_pool.h"
 
 namespace cafe {
 namespace {
@@ -49,6 +50,48 @@ void TopHits::Add(SearchHit hit) {
 int TopHits::Floor() const {
   if (heap_.size() < limit_ || heap_.empty()) return INT_MIN;
   return heap_.front().score;
+}
+
+Result<std::vector<SearchResult>> SearchEngine::BatchSearch(
+    const std::vector<std::string>& queries, const SearchOptions& options) {
+  std::vector<SearchResult> results(queries.size());
+  const uint32_t requested = options.threads == 0
+                                 ? ThreadPool::HardwareThreads()
+                                 : options.threads;
+  const bool concurrent = requested > 1 && queries.size() > 1 &&
+                          SupportsConcurrentSearch();
+  if (!concurrent) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Result<SearchResult> r =
+          SearchWithStrands(this, queries[i], options);
+      if (!r.ok()) return r.status();
+      results[i] = std::move(*r);
+    }
+    return results;
+  }
+
+  // One worker per query slot, each query internally sequential so the
+  // pool is never entered recursively. Per-query results are the same
+  // objects the sequential loop would produce, so the batch is
+  // deterministic under any thread count.
+  SearchOptions per_query = options;
+  per_query.threads = 1;
+  const size_t workers = std::min<size_t>(requested, queries.size());
+  std::vector<Status> errors(queries.size(), Status::OK());
+  ThreadPool pool(static_cast<unsigned>(workers));
+  pool.ParallelFor(queries.size(), [&](size_t i, unsigned /*worker*/) {
+    Result<SearchResult> r =
+        SearchWithStrands(this, queries[i], per_query);
+    if (r.ok()) {
+      results[i] = std::move(*r);
+    } else {
+      errors[i] = r.status();
+    }
+  });
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  return results;
 }
 
 Result<SearchResult> SearchWithStrands(SearchEngine* engine,

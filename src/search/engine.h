@@ -76,6 +76,13 @@ struct SearchOptions {
   /// align/statistics.h (UngappedLambda / CalibrateGumbel).
   std::optional<GumbelParams> statistics;
 
+  /// Worker threads for the parallel execution layer: the fine phase of
+  /// partitioned search and concurrent queries in BatchSearch. 1 runs
+  /// the sequential reference path (no thread pool is created); 0 means
+  /// one worker per hardware thread. Results are identical at every
+  /// setting — parallelism only changes wall time.
+  uint32_t threads = 1;
+
   ScoringScheme scoring;
 };
 
@@ -128,6 +135,26 @@ class SearchEngine {
   /// Finds the best-aligning sequences for `query` (normalized IUPAC).
   virtual Result<SearchResult> Search(std::string_view query,
                                       const SearchOptions& options) = 0;
+
+  /// True when concurrent Search() calls on this instance are safe —
+  /// i.e. Search touches only per-call state and thread-safe const
+  /// methods of the collection/index. Engines that keep per-engine
+  /// mutable scratch must return false; BatchSearch then falls back to
+  /// evaluating queries one at a time.
+  virtual bool SupportsConcurrentSearch() const { return false; }
+
+  /// Evaluates a batch of independent queries — the heavy-traffic
+  /// serving shape. Results arrive in input order and each equals what
+  /// SearchWithStrands(this, query, options) returns (both strands are
+  /// searched when options.search_both_strands is set). With
+  /// options.threads > 1 and SupportsConcurrentSearch(), queries are
+  /// evaluated concurrently, each internally sequential; otherwise the
+  /// batch runs one query at a time, passing options.threads through so
+  /// engines with an internal parallel phase still use it. Fails with
+  /// the first (lowest-index) query error.
+  Result<std::vector<SearchResult>> BatchSearch(
+      const std::vector<std::string>& queries,
+      const SearchOptions& options);
 };
 
 /// Evaluates the query through `engine`, and — when

@@ -21,6 +21,10 @@ class ExhaustiveSearch final : public SearchEngine {
   Result<SearchResult> Search(std::string_view query,
                               const SearchOptions& options) override;
 
+  /// Stateless apart from the collection pointer; Search uses only
+  /// per-call scratch, so concurrent queries are safe.
+  bool SupportsConcurrentSearch() const override { return true; }
+
  private:
   const SequenceCollection* collection_;
 };

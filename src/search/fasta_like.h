@@ -30,6 +30,10 @@ class FastaLikeSearch final : public SearchEngine {
   Result<SearchResult> Search(std::string_view query,
                               const SearchOptions& options) override;
 
+  /// Stateless apart from the collection pointer and fixed params;
+  /// concurrent queries are safe.
+  bool SupportsConcurrentSearch() const override { return true; }
+
  private:
   const SequenceCollection* collection_;
   FastaLikeParams params_;

@@ -1,11 +1,61 @@
 #include "search/partitioned.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "align/smith_waterman.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cafe {
+namespace {
+
+// Per-worker fine-phase state: its own aligner (DP scratch is
+// per-instance), its own top-k, and its own counters, merged
+// sequentially after the loop so results are identical to the
+// single-threaded path.
+struct FineWorker {
+  FineWorker(const ScoringScheme& scheme, uint32_t limit)
+      : aligner(scheme), top(limit) {}
+
+  Aligner aligner;
+  TopHits top;
+  std::string seq;
+  uint64_t aligned = 0;
+  // Lowest candidate index that failed, mirroring the sequential path's
+  // fail-on-first-error behaviour deterministically.
+  size_t error_index = SIZE_MAX;
+  Status error = Status::OK();
+};
+
+void AlignCandidate(const SequenceCollection& collection,
+                    std::string_view query, const SearchOptions& options,
+                    const CoarseCandidate& cand, size_t index,
+                    FineWorker* w) {
+  if (w->error_index != SIZE_MAX && index > w->error_index) return;
+  Status s = collection.GetSequence(cand.doc, &w->seq);
+  if (!s.ok()) {
+    if (index < w->error_index) {
+      w->error_index = index;
+      w->error = s;
+    }
+    return;
+  }
+  int score =
+      cand.has_diagonal
+          ? w->aligner.BandedScore(query, w->seq, cand.diagonal,
+                                   options.band)
+          : w->aligner.ScoreOnly(query, w->seq);
+  ++w->aligned;
+  if (score < options.min_score) return;
+  SearchHit hit;
+  hit.seq_id = cand.doc;
+  hit.score = score;
+  hit.coarse_score = cand.score;
+  w->top.Add(std::move(hit));
+}
+
+}  // namespace
 
 Result<SearchResult> PartitionedSearch::Search(std::string_view query,
                                                const SearchOptions& options) {
@@ -23,35 +73,68 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
       query, options.coarse_mode, options.fine_candidates,
       options.frame_width, &result.stats);
 
-  // Fine phase: local alignment on the candidates only.
+  // Fine phase: local alignment on the candidates only. Each candidate
+  // is independent, so with threads > 1 the candidates are spread over a
+  // pool of workers, each with its own aligner; per-worker top-k sets
+  // and counters are merged in worker order. Top-k selection under the
+  // total order (score desc, seq_id asc) is a pure function of the hit
+  // set, so the merged ranking is bit-identical to the sequential one.
   WallTimer fine;
-  Aligner aligner(options.scoring);
-  TopHits top(options.max_results);
-  std::string seq;
-  for (const CoarseCandidate& cand : candidates) {
-    CAFE_RETURN_IF_ERROR(collection_->GetSequence(cand.doc, &seq));
-    int score;
-    if (cand.has_diagonal) {
-      score = aligner.BandedScore(query, seq, cand.diagonal, options.band);
-    } else {
-      score = aligner.ScoreOnly(query, seq);
-    }
-    ++result.stats.candidates_aligned;
-    if (score < options.min_score) continue;
-    SearchHit hit;
-    hit.seq_id = cand.doc;
-    hit.score = score;
-    hit.coarse_score = cand.score;
-    top.Add(std::move(hit));
-  }
-  result.hits = top.Take();
+  const uint32_t requested = options.threads == 0
+                                 ? ThreadPool::HardwareThreads()
+                                 : options.threads;
+  const size_t workers =
+      std::min<size_t>(std::max<uint32_t>(requested, 1), candidates.size());
 
+  if (workers <= 1) {
+    // Sequential reference path (--threads 1): no pool is created.
+    FineWorker w(options.scoring, options.max_results);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      AlignCandidate(*collection_, query, options, candidates[i], i, &w);
+      if (w.error_index != SIZE_MAX) return w.error;
+    }
+    result.hits = w.top.Take();
+    result.stats.candidates_aligned += w.aligned;
+    result.stats.cells_computed += w.aligner.cells_computed();
+  } else {
+    std::vector<FineWorker> states;
+    states.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      states.emplace_back(options.scoring, options.max_results);
+    }
+    ThreadPool pool(static_cast<unsigned>(workers));
+    pool.ParallelFor(candidates.size(), [&](size_t i, unsigned w) {
+      AlignCandidate(*collection_, query, options, candidates[i], i,
+                     &states[w]);
+    });
+    const FineWorker* failed = nullptr;
+    for (const FineWorker& w : states) {
+      if (w.error_index != SIZE_MAX &&
+          (failed == nullptr || w.error_index < failed->error_index)) {
+        failed = &w;
+      }
+    }
+    if (failed != nullptr) return failed->error;
+    TopHits top(options.max_results);
+    for (FineWorker& w : states) {
+      for (SearchHit& hit : w.top.Take()) top.Add(std::move(hit));
+      result.stats.candidates_aligned += w.aligned;
+      result.stats.cells_computed += w.aligner.cells_computed();
+    }
+    result.hits = top.Take();
+  }
+
+  // Post-processing on the reported hits (at most max_results of them)
+  // stays sequential: it is cheap, and keeping it single-threaded keeps
+  // the output trivially deterministic.
+  Aligner post_aligner(options.scoring);
+  std::string seq;
   if (options.rescore_full) {
     // Remove band clipping from the reported scores: one full DP per
     // reported hit (cheap — max_results sequences, not the collection).
     for (SearchHit& hit : result.hits) {
       CAFE_RETURN_IF_ERROR(collection_->GetSequence(hit.seq_id, &seq));
-      hit.score = aligner.ScoreOnly(query, seq);
+      hit.score = post_aligner.ScoreOnly(query, seq);
     }
     std::sort(result.hits.begin(), result.hits.end(),
               [](const SearchHit& a, const SearchHit& b) {
@@ -73,19 +156,19 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
         }
       }
       if (cand != nullptr && cand->has_diagonal) {
-        Result<LocalAlignment> aln =
-            aligner.BandedAlign(query, seq, cand->diagonal, options.band);
+        Result<LocalAlignment> aln = post_aligner.BandedAlign(
+            query, seq, cand->diagonal, options.band);
         if (!aln.ok()) return aln.status();
         hit.alignment = std::move(*aln);
       } else {
-        Result<LocalAlignment> aln = aligner.Align(query, seq);
+        Result<LocalAlignment> aln = post_aligner.Align(query, seq);
         if (!aln.ok()) return aln.status();
         hit.alignment = std::move(*aln);
       }
     }
   }
 
-  result.stats.cells_computed += aligner.cells_computed();
+  result.stats.cells_computed += post_aligner.cells_computed();
   result.stats.fine_seconds += fine.Seconds();
   result.stats.total_seconds += total.Seconds();
   if (options.statistics.has_value()) {

@@ -26,8 +26,18 @@ class PartitionedSearch final : public SearchEngine {
 
   std::string name() const override { return "partitioned"; }
 
+  /// With options.threads > 1 (0 = hardware threads) the fine phase
+  /// spreads candidates over a worker pool, each worker with its own
+  /// aligner scratch; hits and statistics merge deterministically, so
+  /// results are identical at every thread count. threads == 1 runs the
+  /// sequential reference path.
   Result<SearchResult> Search(std::string_view query,
                               const SearchOptions& options) override;
+
+  /// Search only reads the collection and the posting source through
+  /// their thread-safe const interfaces, so concurrent queries (the
+  /// BatchSearch fan-out) are safe.
+  bool SupportsConcurrentSearch() const override { return true; }
 
  private:
   const SequenceCollection* collection_;

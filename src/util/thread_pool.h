@@ -1,0 +1,84 @@
+// A small fixed-size thread pool for the parallel execution layer.
+//
+// Design goals, in order: determinism of results (the pool only
+// distributes work; callers merge per-worker state in a fixed order),
+// exception safety (task exceptions are captured and rethrown on the
+// waiting thread; worker threads never die), and simplicity (no work
+// stealing, no task priorities — queries and candidates are uniform
+// enough that a shared queue with an atomic cursor is within noise of
+// fancier schedulers for this workload).
+//
+// Typical use:
+//
+//   ThreadPool pool(4);
+//   pool.ParallelFor(items.size(), [&](size_t i, unsigned worker) {
+//     scratch[worker].Process(items[i]);   // scratch is per-worker
+//   });
+//   // merge scratch[0..pool.num_threads()) sequentially
+//
+// ParallelFor must not be called from inside a pool task (the queued
+// sub-tasks would wait behind the caller); keep nested parallelism out
+// by forcing inner layers to one thread, as BatchSearch does.
+
+#ifndef CAFE_UTIL_THREAD_POOL_H_
+#define CAFE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cafe {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Waits for every submitted task to finish, then joins the workers.
+  /// Task exceptions never propagate here — they are delivered through
+  /// the futures Submit returned (or rethrown by ParallelFor).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues `fn` for execution on some worker. The returned future
+  /// reports completion and rethrows any exception `fn` threw.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs body(i, worker) for every i in [0, n), distributing indices
+  /// dynamically over min(num_threads(), n) workers; `worker` is a dense
+  /// id in [0, that count), stable for the duration of the call, so the
+  /// caller can give each worker its own scratch state. Blocks until all
+  /// indices ran; if any invocation threw, rethrows the first captured
+  /// exception after the loop drains (workers that did not throw keep
+  /// consuming indices). Which worker runs which index is unspecified —
+  /// callers must merge per-worker state deterministically.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, unsigned)>& body);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static unsigned HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace cafe {
+namespace {
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, DefaultSizeMatchesHardware) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> ok = pool.Submit([] {});
+  std::future<void> bad =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  std::future<void> after = pool.Submit([] {});
+  EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ++ran; });
+    }
+  }  // ~ThreadPool waits for all submitted work
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(1000);
+  pool.ParallelFor(seen.size(),
+                   [&](size_t i, unsigned /*worker*/) { ++seen[i]; });
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWorkerIdsAreDense) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<unsigned> ids;
+  pool.ParallelFor(200, [&](size_t /*i*/, unsigned worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(worker);
+  });
+  ASSERT_FALSE(ids.empty());
+  // Ids fall in [0, min(num_threads, n)); with 200 items every id that
+  // appears is below the pool size.
+  EXPECT_LT(*ids.rbegin(), 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleWorkerRunsInOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.ParallelFor(10, [&](size_t i, unsigned worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i, unsigned) {
+                         ++ran;
+                         if (i == 13) {
+                           throw std::runtime_error("index 13");
+                         }
+                       }),
+      std::runtime_error);
+  // Workers that did not throw keep draining; at least the throwing
+  // index ran.
+  EXPECT_GE(ran.load(), 1);
+  // The pool is still usable afterwards.
+  std::atomic<int> again{0};
+  pool.ParallelFor(10, [&](size_t, unsigned) { ++again; });
+  EXPECT_EQ(again.load(), 10);
+}
+
+}  // namespace
+}  // namespace cafe

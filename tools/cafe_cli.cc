@@ -4,12 +4,13 @@
 //       [--wildcards RATE]
 //   cafe_cli build --fasta db.fa --collection db.col --index db.idx
 //       [--interval 8] [--stride 1] [--granularity positional|document]
-//       [--stop FRACTION]
+//       [--stop FRACTION] [--threads N]
 //   cafe_cli info --collection db.col [--index db.idx]
 //   cafe_cli search --collection db.col --index db.idx
 //       (--query ACGT... | --query-file q.fa)
 //       [--top 10] [--candidates 100] [--band 48] [--mode diagonal|hitcount]
 //       [--both-strands] [--evalues] [--traceback] [--disk-index]
+//       [--threads N]   (default: one per hardware thread; 1 = sequential)
 //
 // Exit status 0 on success, 1 on any error (message on stderr).
 
@@ -49,14 +50,15 @@ int Usage() {
       "  generate --bases N --out FILE [--seed N] [--wildcards RATE]\n"
       "  build    (--fasta FILE | --genbank FILE) --collection FILE --index FILE\n"
       "           [--interval N] [--stride N] [--granularity g] [--stop F]\n"
-      "           [--shards N]\n"
+      "           [--shards N] [--threads N]\n"
       "  info     --collection FILE [--index FILE]\n"
       "  terms    --index FILE [--top N]\n"
       "  search   --collection FILE --index FILE\n"
       "           (--query SEQ | --query-file FILE) [--top N]\n"
       "           [--candidates N] [--band N] [--mode diagonal|hitcount]\n"
       "           [--both-strands] [--evalues] [--traceback] "
-      "[--disk-index]\n");
+      "[--disk-index]\n"
+      "           [--threads N]  (0 = one per hardware thread)\n");
   return 1;
 }
 
@@ -100,7 +102,12 @@ Status CmdBuild(FlagParser& flags) {
   options.stop_doc_fraction = flags.GetDouble("stop", 1.0);
   std::string gran = flags.GetString("granularity", "positional");
   uint32_t shards = static_cast<uint32_t>(flags.GetInt("shards", 0));
+  int64_t threads_flag = flags.GetInt("threads", 1);
   CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (threads_flag < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  unsigned threads = static_cast<unsigned>(threads_flag);
   if (fasta.empty() == genbank.empty() || col_path.empty() ||
       idx_path.empty()) {
     return Status::InvalidArgument(
@@ -124,9 +131,13 @@ Status CmdBuild(FlagParser& flags) {
 
   WallTimer timer;
   Result<InvertedIndex> index =
-      shards > 1 ? BuildSharded(*col, options,
-                                (col->NumSequences() + shards - 1) / shards)
-                 : IndexBuilder::Build(*col, options);
+      shards > 1
+          ? BuildSharded(*col, options,
+                         (col->NumSequences() + shards - 1) / shards,
+                         threads)
+          : (threads != 1
+                 ? IndexBuilder::BuildParallel(*col, options, threads)
+                 : IndexBuilder::Build(*col, options));
   if (!index.ok()) return index.status();
   CAFE_RETURN_IF_ERROR(col->Save(col_path));
   CAFE_RETURN_IF_ERROR(index->Save(idx_path));
@@ -219,10 +230,17 @@ Status CmdSearch(FlagParser& flags) {
   options.band = static_cast<int>(flags.GetInt("band", 48));
   options.search_both_strands = flags.GetBool("both-strands");
   options.traceback = flags.GetBool("traceback");
+  // 0 = one worker per hardware thread (the serving default); 1 forces
+  // the sequential reference path.
+  int64_t threads_flag = flags.GetInt("threads", 0);
   bool evalues = flags.GetBool("evalues");
   bool use_disk = flags.GetBool("disk-index");
   std::string mode = flags.GetString("mode", "diagonal");
   CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (threads_flag < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  options.threads = static_cast<uint32_t>(threads_flag);
   if (col_path.empty() || idx_path.empty()) {
     return Status::InvalidArgument(
         "--collection and --index are required");
@@ -278,9 +296,15 @@ Status CmdSearch(FlagParser& flags) {
   }
 
   PartitionedSearch engine(&*col, source);
-  for (const auto& [name, q] : queries) {
-    Result<SearchResult> result = SearchWithStrands(&engine, q, options);
-    if (!result.ok()) return result.status();
+  std::vector<std::string> query_seqs;
+  query_seqs.reserve(queries.size());
+  for (const auto& [name, q] : queries) query_seqs.push_back(q);
+  Result<std::vector<SearchResult>> batch =
+      engine.BatchSearch(query_seqs, options);
+  if (!batch.ok()) return batch.status();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto& [name, q] = queries[qi];
+    const SearchResult* result = &(*batch)[qi];
     std::printf("query %s (%zu bases): %zu hits in %.1f ms "
                 "(coarse %.1f, fine %.1f)\n",
                 name.c_str(), q.size(), result->hits.size(),
