@@ -1,12 +1,12 @@
 #include "coding/binary.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cafe::coding {
 
 void EncodeFixed(BitWriter* w, uint64_t v, int width) {
-  assert(v >= 1);
-  assert(width == 64 || (v - 1) < (uint64_t{1} << width));
+  CAFE_DCHECK(v >= 1);
+  CAFE_DCHECK(width == 64 || (v - 1) < (uint64_t{1} << width));
   w->WriteBits(v - 1, width);
 }
 
@@ -15,7 +15,7 @@ uint64_t DecodeFixed(BitReader* r, int width) {
 }
 
 int FixedWidthFor(uint64_t max_value) {
-  assert(max_value >= 1);
+  CAFE_DCHECK(max_value >= 1);
   uint64_t span = max_value - 1;
   int width = 1;
   while (width < 64 && (span >> width) != 0) ++width;

@@ -1,6 +1,6 @@
 #include "coding/elias.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cafe::coding {
 namespace {
@@ -12,7 +12,7 @@ inline int FloorLog2(uint64_t v) {
 }  // namespace
 
 void EncodeGamma(BitWriter* w, uint64_t v) {
-  assert(v >= 1);
+  CAFE_DCHECK(v >= 1);
   int k = FloorLog2(v);
   w->WriteUnary(static_cast<uint64_t>(k));  // k zeros then a 1
   if (k > 0) w->WriteBits(v, k);            // low k bits (drop the leading 1)
@@ -26,12 +26,12 @@ uint64_t DecodeGamma(BitReader* r) {
 }
 
 uint64_t GammaBits(uint64_t v) {
-  assert(v >= 1);
+  CAFE_DCHECK(v >= 1);
   return 2 * static_cast<uint64_t>(FloorLog2(v)) + 1;
 }
 
 void EncodeDelta(BitWriter* w, uint64_t v) {
-  assert(v >= 1);
+  CAFE_DCHECK(v >= 1);
   int k = FloorLog2(v);
   EncodeGamma(w, static_cast<uint64_t>(k) + 1);
   if (k > 0) w->WriteBits(v, k);
@@ -45,7 +45,7 @@ uint64_t DecodeDelta(BitReader* r) {
 }
 
 uint64_t DeltaBits(uint64_t v) {
-  assert(v >= 1);
+  CAFE_DCHECK(v >= 1);
   uint64_t k = static_cast<uint64_t>(FloorLog2(v));
   return GammaBits(k + 1) + k;
 }

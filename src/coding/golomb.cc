@@ -1,6 +1,6 @@
 #include "coding/golomb.h"
 
-#include <cassert>
+#include "util/check.h"
 #include <cmath>
 
 namespace cafe::coding {
@@ -14,7 +14,7 @@ inline int CeilLog2(uint64_t v) {
 }  // namespace
 
 void EncodeGolomb(BitWriter* w, uint64_t v, uint64_t b) {
-  assert(v >= 1 && b >= 1);
+  CAFE_DCHECK(v >= 1 && b >= 1);
   uint64_t x = v - 1;
   uint64_t q = x / b;
   uint64_t rem = x % b;
@@ -32,7 +32,7 @@ void EncodeGolomb(BitWriter* w, uint64_t v, uint64_t b) {
 }
 
 uint64_t DecodeGolomb(BitReader* r, uint64_t b) {
-  assert(b >= 1);
+  CAFE_DCHECK(b >= 1);
   uint64_t q = r->ReadUnary();
   if (b == 1) return q + 1;
   int bits = CeilLog2(b);
@@ -46,7 +46,7 @@ uint64_t DecodeGolomb(BitReader* r, uint64_t b) {
 }
 
 uint64_t GolombBits(uint64_t v, uint64_t b) {
-  assert(v >= 1 && b >= 1);
+  CAFE_DCHECK(v >= 1 && b >= 1);
   uint64_t x = v - 1;
   uint64_t q = x / b;
   if (b == 1) return q + 1;
@@ -65,7 +65,7 @@ uint64_t OptimalGolombParameter(uint64_t occurrences, uint64_t universe) {
 }
 
 void EncodeRice(BitWriter* w, uint64_t v, int k) {
-  assert(v >= 1 && k >= 0 && k < 63);
+  CAFE_DCHECK(v >= 1 && k >= 0 && k < 63);
   uint64_t x = v - 1;
   w->WriteUnary(x >> k);
   if (k > 0) w->WriteBits(x, k);
@@ -78,7 +78,7 @@ uint64_t DecodeRice(BitReader* r, int k) {
 }
 
 uint64_t RiceBits(uint64_t v, int k) {
-  assert(v >= 1);
+  CAFE_DCHECK(v >= 1);
   return ((v - 1) >> k) + 1 + static_cast<uint64_t>(k);
 }
 

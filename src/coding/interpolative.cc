@@ -1,6 +1,6 @@
 #include "coding/interpolative.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cafe::coding {
 namespace {
@@ -8,7 +8,7 @@ namespace {
 // Minimal binary ("truncated binary") code for v in [0, n): values below
 // the cut take floor(log2 n) bits, the rest take ceil(log2 n).
 void WriteMinimalBinary(BitWriter* w, uint64_t v, uint64_t n) {
-  assert(n >= 1 && v < n);
+  CAFE_DCHECK(n >= 1 && v < n);
   if (n == 1) return;  // zero bits: the value is forced
   int bits = 64 - __builtin_clzll(n - 1);  // ceil(log2 n)
   uint64_t cut = (uint64_t{1} << bits) - n;
@@ -20,7 +20,7 @@ void WriteMinimalBinary(BitWriter* w, uint64_t v, uint64_t n) {
 }
 
 uint64_t ReadMinimalBinary(BitReader* r, uint64_t n) {
-  assert(n >= 1);
+  CAFE_DCHECK(n >= 1);
   if (n == 1) return 0;
   int bits = 64 - __builtin_clzll(n - 1);
   uint64_t cut = (uint64_t{1} << bits) - n;
@@ -40,7 +40,7 @@ void EncodeRange(const uint64_t* s, int64_t l, int64_t r, uint64_t lo,
   // [lo, hi], s[mid] is confined to [lo + (mid-l), hi - (r-mid)].
   uint64_t vlo = lo + static_cast<uint64_t>(mid - l);
   uint64_t vhi = hi - static_cast<uint64_t>(r - mid);
-  assert(s[mid] >= vlo && s[mid] <= vhi);
+  CAFE_DCHECK(s[mid] >= vlo && s[mid] <= vhi);
   WriteMinimalBinary(w, s[mid] - vlo, vhi - vlo + 1);
   EncodeRange(s, l, mid - 1, lo, s[mid] - 1, w);
   EncodeRange(s, mid + 1, r, s[mid] + 1, hi, w);
@@ -62,7 +62,7 @@ void DecodeRange(uint64_t* s, int64_t l, int64_t r, uint64_t lo,
 void EncodeInterpolative(const std::vector<uint64_t>& values,
                          uint64_t universe, BitWriter* w) {
   if (values.empty()) return;
-  assert(values.front() >= 1 && values.back() <= universe);
+  CAFE_DCHECK(values.front() >= 1 && values.back() <= universe);
   EncodeRange(values.data(), 0, static_cast<int64_t>(values.size()) - 1, 1,
               universe, w);
 }

@@ -1,11 +1,11 @@
 #include "coding/unary.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cafe::coding {
 
 void EncodeUnary(BitWriter* w, uint64_t v) {
-  assert(v >= 1);
+  CAFE_DCHECK(v >= 1);
   w->WriteUnary(v - 1);
 }
 

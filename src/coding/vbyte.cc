@@ -1,11 +1,11 @@
 #include "coding/vbyte.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cafe::coding {
 
 void EncodeVByte(BitWriter* w, uint64_t v) {
-  assert(v >= 1);
+  CAFE_DCHECK(v >= 1);
   uint64_t x = v - 1;
   while (x >= 128) {
     w->WriteBits(x & 0x7F, 8);  // continuation: high bit clear
@@ -27,7 +27,7 @@ uint64_t DecodeVByte(BitReader* r) {
 }
 
 uint64_t VByteBits(uint64_t v) {
-  assert(v >= 1);
+  CAFE_DCHECK(v >= 1);
   uint64_t x = v - 1;
   uint64_t bytes = 1;
   while (x >= 128) {
@@ -38,7 +38,7 @@ uint64_t VByteBits(uint64_t v) {
 }
 
 void AppendVByte(std::vector<uint8_t>* out, uint64_t v) {
-  assert(v >= 1);
+  CAFE_DCHECK(v >= 1);
   uint64_t x = v - 1;
   while (x >= 128) {
     out->push_back(static_cast<uint8_t>(x & 0x7F));

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "index/index_format.h"
+#include "util/check.h"
 #include "util/crc32.h"
 
 namespace cafe {
@@ -48,7 +49,9 @@ Result<std::unique_ptr<DiskIndex>> DiskIndex::Open(
   // Parse the prefix (header + doc lengths + directory). The body is
   // read once here and released immediately after parsing — steady-state
   // memory holds only the directory, never the postings blob.
-  std::unique_ptr<DiskIndex> index(new DiskIndex());
+  // make_unique cannot reach the private constructor.
+  std::unique_ptr<DiskIndex> index(
+      new DiskIndex());  // NOLINT(cafe-no-naked-new)
   index_internal::IndexPrefix prefix;
   {
     const uint64_t body = file_size - 4;
@@ -165,6 +168,7 @@ void DiskIndex::ScanPostings(uint32_t term,
   }
   // Decode outside the lock: `bytes` is pinned by shared ownership even
   // if the entry gets evicted meanwhile, and the scratch is per-thread.
+  CAFE_DCHECK_GE(e->bit_offset, first_byte * 8);
   uint64_t local_bit_offset = e->bit_offset - first_byte * 8;
   static thread_local std::vector<uint32_t> pos_buf;
   DecodePostings(bytes->data(), bytes->size(), local_bit_offset, *e,

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "collection/collection.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace cafe {
@@ -87,6 +88,12 @@ Result<InvertedIndex> MergeIndexes(
             }
           });
     }
+
+    // Every term in the union came from at least one shard directory, so
+    // its gathered postings cannot be empty, and positional runs must
+    // stay aligned with their document ids.
+    CAFE_CHECK(!docs.empty()) << "term " << term << " lost its postings";
+    if (positional) CAFE_CHECK_EQ(docs.size(), positions.size());
 
     TermEntry* e = merged.directory_.FindOrCreate(term);
     e->bit_offset = writer.bit_count();

@@ -1,6 +1,6 @@
 #include "index/postings.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cafe {
 
@@ -8,7 +8,7 @@ uint32_t EncodePostings(const uint32_t* docs, const uint32_t* positions,
                         size_t count, uint32_t num_docs,
                         IndexGranularity granularity, BitWriter* w,
                         uint32_t* position_param) {
-  assert(count > 0);
+  CAFE_CHECK_GT(count, 0u) << "empty postings run";
 
   // First scan: distinct docs, and the statistics for the position-gap
   // parameter (sum of the values that will actually be Golomb coded).
@@ -54,7 +54,7 @@ uint32_t EncodePostings(const uint32_t* docs, const uint32_t* positions,
         uint64_t v = first_pos ? static_cast<uint64_t>(positions[k]) + 1
                                : static_cast<uint64_t>(positions[k]) -
                                      prev_pos;
-        assert(v >= 1);
+        CAFE_DCHECK_GE(v, 1u) << "positions not strictly increasing";
         coding::EncodeGolomb(w, v, b_pos);
         prev_pos = positions[k];
         first_pos = false;

@@ -28,6 +28,7 @@
 #include "coding/golomb.h"
 #include "index/vocabulary.h"
 #include "util/bitio.h"
+#include "util/check.h"
 
 namespace cafe {
 
@@ -55,6 +56,10 @@ void DecodePostings(const uint8_t* blob, size_t blob_bytes,
                     uint64_t bit_offset, const TermEntry& entry,
                     uint32_t num_docs, IndexGranularity granularity,
                     std::vector<uint32_t>* pos_buf, Fn&& fn) {
+  // Directory offsets are producer-side invariants: the blob and its
+  // directory were either built in-process or admitted past a CRC check,
+  // so an out-of-range offset is a bug, not bad input.
+  CAFE_DCHECK_LE(bit_offset, blob_bytes * 8);
   BitReader r(blob, blob_bytes);
   r.SeekToBit(bit_offset);
   const uint64_t b_doc =

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "alphabet/nucleotide.h"
+#include "util/check.h"
 
 namespace cafe {
 namespace {
@@ -14,6 +15,7 @@ constexpr uint64_t kPairLow = 0x5555555555555555ull;
 // sub-byte offset so base `pos` sits in the top bit pair.
 uint64_t LoadShifted(const uint8_t* payload, size_t payload_bytes,
                      size_t pos) {
+  CAFE_DCHECK_LT(pos >> 2, payload_bytes);
   size_t j = pos >> 2;
   int r = static_cast<int>(pos & 3);
   if (j + 9 <= payload_bytes) {

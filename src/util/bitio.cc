@@ -1,6 +1,6 @@
 #include "util/bitio.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cafe {
 
@@ -13,7 +13,8 @@ void BitWriter::FlushAcc() {
 }
 
 void BitWriter::WriteBits(uint64_t value, int nbits) {
-  assert(nbits >= 0 && nbits <= 64);
+  CAFE_DCHECK_GE(nbits, 0);
+  CAFE_DCHECK_LE(nbits, 64);
   if (nbits == 0) return;
   if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
   bit_count_ += static_cast<size_t>(nbits);
@@ -51,7 +52,7 @@ void BitWriter::AlignToByte() {
 
 std::vector<uint8_t> BitWriter::Finish() {
   AlignToByte();
-  assert(acc_bits_ == 0);
+  CAFE_DCHECK_EQ(acc_bits_, 0);
   std::vector<uint8_t> out;
   out.swap(buf_);
   bit_count_ = 0;
@@ -68,7 +69,8 @@ void BitWriter::Clear() {
 }
 
 uint64_t BitReader::ReadBits(int nbits) {
-  assert(nbits >= 0 && nbits <= 64);
+  CAFE_DCHECK_GE(nbits, 0);
+  CAFE_DCHECK_LE(nbits, 64);
   if (nbits == 0) return 0;
   if (pos_ + static_cast<size_t>(nbits) > size_bits_) {
     overflowed_ = true;

@@ -1,0 +1,25 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cafe {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* message) {
+  stream_ << file << ":" << line << ": " << message;
+}
+
+CheckFailure::CheckFailure(const char* file, int line, std::string message) {
+  stream_ << file << ":" << line << ": " << message;
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string msg = stream_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cafe

@@ -1,0 +1,137 @@
+// Runtime invariant checks: CAFE_CHECK / CAFE_DCHECK.
+//
+// CAFE_CHECK(cond) aborts the process with a `file:line: Check failed:`
+// message when `cond` is false, in every build type. Use it for
+// invariants whose violation means the process must not continue
+// (index-format corruption the caller cannot recover from, broken
+// internal state). Extra context can be streamed in:
+//
+//   CAFE_CHECK(block < num_blocks_) << "term " << term;
+//   CAFE_CHECK_EQ(header.magic, kMagic) << "while opening " << path;
+//
+// CAFE_DCHECK and friends are identical in Debug builds and compile to
+// nothing in Release (NDEBUG) builds — the condition is not evaluated.
+// Use them for hot-path preconditions (per-integer codec contracts,
+// per-bit I/O bounds) where a Release-mode branch would be measurable.
+//
+// The _EQ/_NE/_LT/_LE/_GT/_GE variants print both operand values on
+// failure, which plain CAFE_CHECK(a == b) cannot do.
+
+#ifndef CAFE_UTIL_CHECK_H_
+#define CAFE_UTIL_CHECK_H_
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace cafe {
+namespace internal {
+
+// Accumulates the failure message; its destructor reports file:line plus
+// the streamed message to stderr and aborts. Instances only ever exist as
+// temporaries in a failed check's full-expression, so streaming extra
+// context happens before the abort fires.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* message);
+  CheckFailure(const char* file, int line, std::string message);
+  ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lower precedence than operator<< so the macro can swallow the whole
+// streamed expression; returns void so a check cannot be used as a value.
+struct CheckVoidify {
+  void operator&(std::ostream&) {}
+};
+
+// Builds the "a vs. b" message for a failed CAFE_CHECK_op. Out of line
+// from the comparison so the failure path stays cold.
+template <typename A, typename B>
+std::string MakeCheckOpMessage(const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << "Check failed: " << expr << " (" << a << " vs. " << b << ") ";
+  return os.str();
+}
+
+// One helper per comparison; returns the failure message, or nullopt on
+// success. Operands are evaluated exactly once, in the caller.
+#define CAFE_INTERNAL_DEFINE_CHECK_OP(name, op)                             \
+  template <typename A, typename B>                                         \
+  std::optional<std::string> name(const char* expr, const A& a,             \
+                                  const B& b) {                             \
+    if (a op b) return std::nullopt; /* NOLINT(readability-braces) */       \
+    return MakeCheckOpMessage(expr, a, b);                                  \
+  }
+CAFE_INTERNAL_DEFINE_CHECK_OP(CheckEqImpl, ==)
+CAFE_INTERNAL_DEFINE_CHECK_OP(CheckNeImpl, !=)
+CAFE_INTERNAL_DEFINE_CHECK_OP(CheckLtImpl, <)
+CAFE_INTERNAL_DEFINE_CHECK_OP(CheckLeImpl, <=)
+CAFE_INTERNAL_DEFINE_CHECK_OP(CheckGtImpl, >)
+CAFE_INTERNAL_DEFINE_CHECK_OP(CheckGeImpl, >=)
+#undef CAFE_INTERNAL_DEFINE_CHECK_OP
+
+}  // namespace internal
+}  // namespace cafe
+
+// Always-on invariant check. The `while` runs at most once: CheckFailure's
+// destructor aborts at the end of the statement.
+#define CAFE_CHECK(cond)                                               \
+  while (__builtin_expect(!(cond), 0))                                 \
+  ::cafe::internal::CheckVoidify() &                                   \
+      ::cafe::internal::CheckFailure(__FILE__, __LINE__,               \
+                                     "Check failed: " #cond " ")       \
+          .stream()
+
+#define CAFE_INTERNAL_CHECK_OP(impl, a, b, op_str)                     \
+  while (auto _cafe_check_msg =                                        \
+             ::cafe::internal::impl(#a " " op_str " " #b, (a), (b)))   \
+  ::cafe::internal::CheckVoidify() &                                   \
+      ::cafe::internal::CheckFailure(__FILE__, __LINE__,               \
+                                     *std::move(_cafe_check_msg))      \
+          .stream()
+
+#define CAFE_CHECK_EQ(a, b) CAFE_INTERNAL_CHECK_OP(CheckEqImpl, a, b, "==")
+#define CAFE_CHECK_NE(a, b) CAFE_INTERNAL_CHECK_OP(CheckNeImpl, a, b, "!=")
+#define CAFE_CHECK_LT(a, b) CAFE_INTERNAL_CHECK_OP(CheckLtImpl, a, b, "<")
+#define CAFE_CHECK_LE(a, b) CAFE_INTERNAL_CHECK_OP(CheckLeImpl, a, b, "<=")
+#define CAFE_CHECK_GT(a, b) CAFE_INTERNAL_CHECK_OP(CheckGtImpl, a, b, ">")
+#define CAFE_CHECK_GE(a, b) CAFE_INTERNAL_CHECK_OP(CheckGeImpl, a, b, ">=")
+
+// Debug-only checks. In Release (NDEBUG) the condition is dead code —
+// never evaluated, but still parsed, so operands stay odr-used and the
+// expression keeps compiling.
+#ifndef NDEBUG
+#define CAFE_DCHECK(cond) CAFE_CHECK(cond)
+#define CAFE_DCHECK_EQ(a, b) CAFE_CHECK_EQ(a, b)
+#define CAFE_DCHECK_NE(a, b) CAFE_CHECK_NE(a, b)
+#define CAFE_DCHECK_LT(a, b) CAFE_CHECK_LT(a, b)
+#define CAFE_DCHECK_LE(a, b) CAFE_CHECK_LE(a, b)
+#define CAFE_DCHECK_GT(a, b) CAFE_CHECK_GT(a, b)
+#define CAFE_DCHECK_GE(a, b) CAFE_CHECK_GE(a, b)
+#else
+#define CAFE_DCHECK(cond) \
+  while (false) CAFE_CHECK(cond)
+#define CAFE_DCHECK_EQ(a, b) \
+  while (false) CAFE_CHECK_EQ(a, b)
+#define CAFE_DCHECK_NE(a, b) \
+  while (false) CAFE_CHECK_NE(a, b)
+#define CAFE_DCHECK_LT(a, b) \
+  while (false) CAFE_CHECK_LT(a, b)
+#define CAFE_DCHECK_LE(a, b) \
+  while (false) CAFE_CHECK_LE(a, b)
+#define CAFE_DCHECK_GT(a, b) \
+  while (false) CAFE_CHECK_GT(a, b)
+#define CAFE_DCHECK_GE(a, b) \
+  while (false) CAFE_CHECK_GE(a, b)
+#endif
+
+#endif  // CAFE_UTIL_CHECK_H_

@@ -5,7 +5,7 @@
 #ifndef CAFE_UTIL_RANDOM_H_
 #define CAFE_UTIL_RANDOM_H_
 
-#include <cassert>
+#include "util/check.h"
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -42,7 +42,7 @@ class Rng {
 
   /// Uniform in [0, bound). `bound` must be > 0.
   uint64_t Uniform(uint64_t bound) {
-    assert(bound > 0);
+    CAFE_DCHECK(bound > 0);
     // Debiased multiply-shift (Lemire).
     while (true) {
       uint64_t x = Next();
@@ -56,7 +56,7 @@ class Rng {
 
   /// Uniform integer in [lo, hi] inclusive.
   int64_t UniformInt(int64_t lo, int64_t hi) {
-    assert(lo <= hi);
+    CAFE_DCHECK(lo <= hi);
     return lo + static_cast<int64_t>(
                     Uniform(static_cast<uint64_t>(hi - lo) + 1));
   }
@@ -84,7 +84,7 @@ class Rng {
 
   /// Geometric: number of failures before first success, success prob p.
   uint64_t NextGeometric(double p) {
-    assert(p > 0.0 && p <= 1.0);
+    CAFE_DCHECK(p > 0.0 && p <= 1.0);
     if (p >= 1.0) return 0;
     double u = NextDouble();
     if (u < 1e-300) u = 1e-300;
