@@ -19,22 +19,22 @@ namespace cafe {
 class SequenceCollection {
  public:
   /// Adds one sequence (normalized IUPAC); returns its dense id.
-  Result<uint32_t> Add(std::string_view id, std::string_view description,
+  [[nodiscard]] Result<uint32_t> Add(std::string_view id, std::string_view description,
                        std::string_view sequence);
 
   /// Builds a collection from parsed FASTA records.
-  static Result<SequenceCollection> FromFasta(
+  [[nodiscard]] static Result<SequenceCollection> FromFasta(
       const std::vector<FastaRecord>& records);
 
   /// Materializes sequence `id`.
-  Status GetSequence(uint32_t id, std::string* out) const;
+  [[nodiscard]] Status GetSequence(uint32_t id, std::string* out) const;
 
   /// Record identifier (FASTA id) of sequence `id`; empty if out of range.
   const std::string& Name(uint32_t id) const;
   const std::string& Description(uint32_t id) const;
 
   /// Length in bases of sequence `id` without decoding it.
-  Result<size_t> SequenceLength(uint32_t id) const;
+  [[nodiscard]] Result<size_t> SequenceLength(uint32_t id) const;
 
   uint32_t NumSequences() const { return store_.NumSequences(); }
   uint64_t TotalBases() const { return store_.TotalBases(); }
@@ -45,9 +45,9 @@ class SequenceCollection {
   const SequenceStore& store() const { return store_; }
 
   void Serialize(std::string* out) const;
-  static Result<SequenceCollection> Deserialize(std::string_view data);
-  Status Save(const std::string& path) const;
-  static Result<SequenceCollection> Load(const std::string& path);
+  [[nodiscard]] static Result<SequenceCollection> Deserialize(std::string_view data);
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] static Result<SequenceCollection> Load(const std::string& path);
 
  private:
   SequenceStore store_;

@@ -27,17 +27,17 @@ struct FastaRecord {
 /// Fails with InvalidArgument on malformed input (data before the first
 /// header, empty header, invalid characters — the offending record is
 /// named in the message).
-Status ParseFasta(std::string_view text, std::vector<FastaRecord>* out);
+[[nodiscard]] Status ParseFasta(std::string_view text, std::vector<FastaRecord>* out);
 
 /// Reads and parses a FASTA file.
-Status ReadFastaFile(const std::string& path, std::vector<FastaRecord>* out);
+[[nodiscard]] Status ReadFastaFile(const std::string& path, std::vector<FastaRecord>* out);
 
 /// Renders records as FASTA with `line_width` bases per sequence line.
 std::string WriteFasta(const std::vector<FastaRecord>& records,
                        size_t line_width = 70);
 
 /// Writes records to a file.
-Status WriteFastaFile(const std::string& path,
+[[nodiscard]] Status WriteFastaFile(const std::string& path,
                       const std::vector<FastaRecord>& records,
                       size_t line_width = 70);
 

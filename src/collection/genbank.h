@@ -22,10 +22,10 @@ namespace cafe {
 /// uses (id = LOCUS name, description = DEFINITION). Fails with
 /// InvalidArgument on structural errors (sequence data outside
 /// ORIGIN..//, missing LOCUS, invalid bases), naming the offending line.
-Status ParseGenBank(std::string_view text, std::vector<FastaRecord>* out);
+[[nodiscard]] Status ParseGenBank(std::string_view text, std::vector<FastaRecord>* out);
 
 /// Reads and parses a GenBank flat file.
-Status ReadGenBankFile(const std::string& path,
+[[nodiscard]] Status ReadGenBankFile(const std::string& path,
                        std::vector<FastaRecord>* out);
 
 /// Renders records as a minimal GenBank flat file (LOCUS, DEFINITION,

@@ -51,7 +51,7 @@ class DiskIndex final : public PostingSource {
   /// is streamed once to verify its CRC; afterwards only the directory
   /// (plus up to `cache_capacity_bytes` of cached postings) stays in
   /// memory.
-  static Result<std::unique_ptr<DiskIndex>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<DiskIndex>> Open(
       const std::string& path, size_t cache_capacity_bytes = 4 << 20);
 
   const IndexOptions& options() const override { return options_; }
@@ -88,7 +88,7 @@ class DiskIndex final : public PostingSource {
   /// Fetches (or returns cached) raw bytes covering the term's list.
   /// Requires mu_ held; *out keeps the bytes alive after the lock is
   /// released.
-  Status FetchTermBytes(uint32_t term, const TermEntry& entry,
+  [[nodiscard]] Status FetchTermBytes(uint32_t term, const TermEntry& entry,
                         std::shared_ptr<std::vector<uint8_t>>* out,
                         uint64_t* first_byte) const;
 

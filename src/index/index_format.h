@@ -32,7 +32,7 @@ struct IndexPrefix {
 /// Parses everything before the postings blob. `data` must cover the file
 /// contents *without* the trailing CRC-32 (the caller verifies that);
 /// on success, data.substr(out->blob_offset, out->blob_bytes) is the blob.
-Status ParseIndexPrefix(std::string_view data, IndexPrefix* out);
+[[nodiscard]] Status ParseIndexPrefix(std::string_view data, IndexPrefix* out);
 
 }  // namespace cafe::index_internal
 

@@ -24,7 +24,7 @@ namespace cafe {
 /// local document j is global document `doc_offsets[i] + j`. All shards
 /// must share identical options with stop_doc_fraction == 1.0.
 /// `doc_offsets` must be ascending and sized like `shards`.
-Result<InvertedIndex> MergeIndexes(
+[[nodiscard]] Result<InvertedIndex> MergeIndexes(
     const std::vector<const InvertedIndex*>& shards,
     const std::vector<uint32_t>& doc_offsets);
 
@@ -33,7 +33,7 @@ Result<InvertedIndex> MergeIndexes(
 /// the shards are built concurrently — each covers a disjoint document
 /// range — and then merged sequentially, so the output is identical to
 /// the single-threaded build.
-Result<InvertedIndex> BuildSharded(const SequenceCollection& collection,
+[[nodiscard]] Result<InvertedIndex> BuildSharded(const SequenceCollection& collection,
                                    const IndexOptions& options,
                                    uint32_t docs_per_shard,
                                    unsigned threads = 1);

@@ -45,7 +45,7 @@ struct IndexOptions {
   /// acceleration the CAFE papers describe.
   double stop_doc_fraction = 1.0;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Size/occupancy statistics used by experiments E1/E2/E6.
@@ -106,9 +106,9 @@ class InvertedIndex final : public PostingSource {
   uint64_t SerializedBytes() const;
 
   void Serialize(std::string* out) const;
-  static Result<InvertedIndex> Deserialize(std::string_view data);
-  Status Save(const std::string& path) const;
-  static Result<InvertedIndex> Load(const std::string& path);
+  [[nodiscard]] static Result<InvertedIndex> Deserialize(std::string_view data);
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] static Result<InvertedIndex> Load(const std::string& path);
 
  private:
   friend class IndexBuilder;
@@ -132,13 +132,13 @@ class InvertedIndex final : public PostingSource {
 /// Builds indexes over collections.
 class IndexBuilder {
  public:
-  static Result<InvertedIndex> Build(const SequenceCollection& collection,
+  [[nodiscard]] static Result<InvertedIndex> Build(const SequenceCollection& collection,
                                      const IndexOptions& options);
 
   /// Builds over the sub-range of sequences [doc_begin, doc_end);
   /// document ids in the result are local (0-based within the range).
   /// Used by the sharded construction path (index_merge.h).
-  static Result<InvertedIndex> BuildRange(
+  [[nodiscard]] static Result<InvertedIndex> BuildRange(
       const SequenceCollection& collection, const IndexOptions& options,
       uint32_t doc_begin, uint32_t doc_end);
 
@@ -150,7 +150,7 @@ class IndexBuilder {
   /// index stopping is requested (stopping is a whole-collection
   /// decision, incompatible with per-shard builds). Implemented in
   /// index_merge.cc.
-  static Result<InvertedIndex> BuildParallel(
+  [[nodiscard]] static Result<InvertedIndex> BuildParallel(
       const SequenceCollection& collection, const IndexOptions& options,
       unsigned threads);
 };

@@ -68,7 +68,7 @@ class PackedView {
 /// ambiguity set (as the store does). Fails on non-IUPAC characters.
 class PackedQuery {
  public:
-  static Result<PackedQuery> FromString(std::string_view seq);
+  [[nodiscard]] static Result<PackedQuery> FromString(std::string_view seq);
 
   const PackedView& view() const { return view_; }
   size_t size() const { return view_.size(); }

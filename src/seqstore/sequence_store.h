@@ -27,19 +27,19 @@ class SequenceStoreInterface {
   virtual ~SequenceStoreInterface() = default;
 
   /// Appends a sequence; returns its id (dense, starting at 0).
-  virtual Result<uint32_t> Append(std::string_view seq) = 0;
+  [[nodiscard]] virtual Result<uint32_t> Append(std::string_view seq) = 0;
 
   /// Materializes sequence `id` into `*out`.
-  virtual Status Get(uint32_t id, std::string* out) const = 0;
+  [[nodiscard]] virtual Status Get(uint32_t id, std::string* out) const = 0;
 
   /// Materializes only bases [start, start+count) of sequence `id`
   /// (random access within a record; the direct-coded store does this
   /// without expanding the whole sequence).
-  virtual Status GetRange(uint32_t id, size_t start, size_t count,
+  [[nodiscard]] virtual Status GetRange(uint32_t id, size_t start, size_t count,
                           std::string* out) const = 0;
 
   /// Length in bases of sequence `id` (no decode of the payload).
-  virtual Result<size_t> Length(uint32_t id) const = 0;
+  [[nodiscard]] virtual Result<size_t> Length(uint32_t id) const = 0;
 
   virtual uint32_t NumSequences() const = 0;
   virtual uint64_t TotalBases() const = 0;
@@ -53,11 +53,11 @@ class SequenceStore final : public SequenceStoreInterface {
  public:
   SequenceStore() { offsets_.push_back(0); }
 
-  Result<uint32_t> Append(std::string_view seq) override;
-  Status Get(uint32_t id, std::string* out) const override;
-  Status GetRange(uint32_t id, size_t start, size_t count,
+  [[nodiscard]] Result<uint32_t> Append(std::string_view seq) override;
+  [[nodiscard]] Status Get(uint32_t id, std::string* out) const override;
+  [[nodiscard]] Status GetRange(uint32_t id, size_t start, size_t count,
                   std::string* out) const override;
-  Result<size_t> Length(uint32_t id) const override;
+  [[nodiscard]] Result<size_t> Length(uint32_t id) const override;
   uint32_t NumSequences() const override {
     return static_cast<uint32_t>(offsets_.size() - 1);
   }
@@ -69,16 +69,16 @@ class SequenceStore final : public SequenceStoreInterface {
   /// Zero-decode view of sequence `id`'s 2-bit packed payload (wildcards
   /// appear as their first ambiguity-set base). The view borrows the
   /// store's memory: valid until the store is mutated or destroyed.
-  Result<PackedView> GetPackedView(uint32_t id) const;
+  [[nodiscard]] Result<PackedView> GetPackedView(uint32_t id) const;
 
   /// Serializes to a self-checking byte string (magic, version, CRC).
   void Serialize(std::string* out) const;
 
   /// Parses a string produced by Serialize.
-  static Result<SequenceStore> Deserialize(std::string_view data);
+  [[nodiscard]] static Result<SequenceStore> Deserialize(std::string_view data);
 
-  Status Save(const std::string& path) const;
-  static Result<SequenceStore> Load(const std::string& path);
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] static Result<SequenceStore> Load(const std::string& path);
 
  private:
   std::vector<uint8_t> blob_;

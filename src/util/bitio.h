@@ -38,14 +38,14 @@ class BitWriter {
   void AlignToByte();
 
   /// Number of bits written so far.
-  size_t bit_count() const { return bit_count_; }
+  [[nodiscard]] size_t bit_count() const { return bit_count_; }
 
   /// Finishes (pads to a byte boundary) and returns the buffer.
-  std::vector<uint8_t> Finish();
+  [[nodiscard]] std::vector<uint8_t> Finish();
 
   /// Read-only view of the bytes written so far, including a final
   /// partially-filled byte if any.
-  const std::vector<uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] const std::vector<uint8_t>& bytes() const { return buf_; }
 
   void Clear();
 
@@ -69,23 +69,23 @@ class BitReader {
 
   /// Reads `nbits` bits (<= 64) and returns them right-aligned.
   /// Past-the-end reads return 0 and set the overflow flag.
-  uint64_t ReadBits(int nbits);
+  [[nodiscard]] uint64_t ReadBits(int nbits);
 
   /// Reads a single bit.
-  bool ReadBit() { return ReadBits(1) != 0; }
+  [[nodiscard]] bool ReadBit() { return ReadBits(1) != 0; }
 
   /// Reads a unary code: the number of zero bits before the next one bit.
-  uint64_t ReadUnary();
+  [[nodiscard]] uint64_t ReadUnary();
 
   /// Skips ahead to the next byte boundary.
   void AlignToByte();
 
   /// True once any read has run past the end of the buffer.
-  bool overflowed() const { return overflowed_; }
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
 
-  size_t bit_position() const { return pos_; }
-  size_t size_bits() const { return size_bits_; }
-  size_t bits_remaining() const {
+  [[nodiscard]] size_t bit_position() const { return pos_; }
+  [[nodiscard]] size_t size_bits() const { return size_bits_; }
+  [[nodiscard]] size_t bits_remaining() const {
     return pos_ >= size_bits_ ? 0 : size_bits_ - pos_;
   }
 

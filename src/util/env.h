@@ -12,14 +12,14 @@
 namespace cafe {
 
 /// Reads an entire file into `*out`.
-Status ReadFileToString(const std::string& path, std::string* out);
+[[nodiscard]] Status ReadFileToString(const std::string& path, std::string* out);
 
 /// Atomically-ish writes `data` to `path` (write then rename is overkill
 /// here; this truncates and writes).
-Status WriteStringToFile(const std::string& path, const std::string& data);
+[[nodiscard]] Status WriteStringToFile(const std::string& path, const std::string& data);
 
 /// Removes a file; missing files are not an error.
-Status RemoveFile(const std::string& path);
+[[nodiscard]] Status RemoveFile(const std::string& path);
 
 bool FileExists(const std::string& path);
 

@@ -40,7 +40,7 @@ class FlagParser {
 
   /// Fails if any provided flag was never consumed by a getter, or if a
   /// typed getter saw an unparsable value.
-  Status Finish() const;
+  [[nodiscard]] Status Finish() const;
 
  private:
   void Parse(const std::vector<std::string>& args);

@@ -7,7 +7,7 @@
 #ifndef CAFE_UTIL_STATUS_H_
 #define CAFE_UTIL_STATUS_H_
 
-#include <cassert>
+#include "util/check.h"
 #include <string>
 #include <utility>
 #include <variant>
@@ -15,7 +15,7 @@
 namespace cafe {
 
 /// Outcome of a fallible operation.
-class Status {
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -54,7 +54,7 @@ class Status {
     return Status(Code::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -69,6 +69,11 @@ class Status {
   /// Human-readable rendering, e.g. "Corruption: bad checksum".
   std::string ToString() const;
 
+  /// Explicitly discards the status. The only sanctioned way to drop a
+  /// [[nodiscard]] Status — reserve it for best-effort operations
+  /// (cleanup of temporary files and the like).
+  void IgnoreError() const {}
+
  private:
   Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
 
@@ -78,16 +83,16 @@ class Status {
 
 /// A value or an error. Holds T on success, a non-OK Status on failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT
   /// Implicit from error. `status` must be non-OK.
   Result(Status status) : value_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(value_).ok());
+    CAFE_DCHECK(!std::get<Status>(value_).ok());
   }
 
-  bool ok() const { return std::holds_alternative<T>(value_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(value_); }
 
   /// The error; Status::OK() if this holds a value.
   Status status() const {
@@ -96,15 +101,15 @@ class Result {
 
   /// Precondition: ok().
   const T& value() const& {
-    assert(ok());
+    CAFE_DCHECK(ok());
     return std::get<T>(value_);
   }
   T& value() & {
-    assert(ok());
+    CAFE_DCHECK(ok());
     return std::get<T>(value_);
   }
   T&& value() && {
-    assert(ok());
+    CAFE_DCHECK(ok());
     return std::get<T>(std::move(value_));
   }
 

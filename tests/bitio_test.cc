@@ -115,7 +115,7 @@ TEST(BitReaderTest, OverflowSetsFlagAndReturnsZero) {
 TEST(BitReaderTest, PartialThenOverflow) {
   std::vector<uint8_t> bytes = {0xAB};
   BitReader r(bytes);
-  r.ReadBits(4);
+  (void)r.ReadBits(4);
   EXPECT_EQ(r.ReadBits(8), 0u);  // crosses the end
   EXPECT_TRUE(r.overflowed());
 }
@@ -142,7 +142,7 @@ TEST(BitReaderTest, BitsRemaining) {
   std::vector<uint8_t> bytes = {0x00, 0x00};
   BitReader r(bytes);
   EXPECT_EQ(r.bits_remaining(), 16u);
-  r.ReadBits(5);
+  (void)r.ReadBits(5);
   EXPECT_EQ(r.bits_remaining(), 11u);
 }
 
@@ -175,14 +175,14 @@ TEST(UnaryTest, UnaryAfterMisalignment) {
   w.WriteUnary(17);
   std::vector<uint8_t> bytes = w.Finish();
   BitReader r(bytes);
-  r.ReadBits(3);
+  (void)r.ReadBits(3);
   EXPECT_EQ(r.ReadUnary(), 17u);
 }
 
 TEST(UnaryTest, OverflowOnMissingTerminator) {
   std::vector<uint8_t> bytes = {0x00};  // eight zeros, no terminating 1
   BitReader r(bytes);
-  r.ReadUnary();
+  (void)r.ReadUnary();
   EXPECT_TRUE(r.overflowed());
 }
 
