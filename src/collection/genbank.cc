@@ -130,7 +130,7 @@ std::string WriteGenBank(const std::vector<FastaRecord>& records) {
     }
     out += "ORIGIN\n";
     for (size_t i = 0; i < rec.sequence.size(); i += 60) {
-      char counter[16];
+      char counter[24];  // %9zu can widen to 20 digits for huge offsets
       std::snprintf(counter, sizeof(counter), "%9zu", i + 1);
       out += counter;
       for (size_t j = i; j < std::min(i + 60, rec.sequence.size());
