@@ -154,7 +154,7 @@ int main() {
       if (mut.Bernoulli(0.02)) c = "ACGT"[mut.Uniform(4)];
     }
     ScoringScheme scheme;
-    PairScoreTable table(scheme);
+    PairScoreTable pair_table(scheme);
     SequenceStore pstore;
     bench::Unwrap(pstore.Append(sa).status(), "append");
     bench::Unwrap(pstore.Append(sb).status(), "append");
@@ -166,7 +166,7 @@ int main() {
     uint64_t sink = 0;
     for (int i = 0; i < reps; ++i) {
       sink += static_cast<uint64_t>(
-          XDropExtend(sa, sb, 1000, 1000, 11, table, 100).score);
+          XDropExtend(sa, sb, 1000, 1000, 11, pair_table, 100).score);
     }
     double scalar_s = scalar_t.Seconds();
     WallTimer packed_t;
@@ -184,11 +184,11 @@ int main() {
     for (int i = 0; i < reps; ++i) {
       bench::Unwrap(pstore.Get(1, &decoded), "get");
       sink += static_cast<uint64_t>(
-          XDropExtend(sa, decoded, 1000, 1000, 11, table, 100).score);
+          XDropExtend(sa, decoded, 1000, 1000, 11, pair_table, 100).score);
     }
     double decode_s = decode_t.Seconds();
     if (sink == 42) std::printf(" ");
-    UngappedSegment check_s = XDropExtend(sa, sb, 1000, 1000, 11, table, 100);
+    UngappedSegment check_s = XDropExtend(sa, sb, 1000, 1000, 11, pair_table, 100);
     UngappedSegment check_p = PackedXDropExtend(
         va, vb, 1000, 1000, 11, scheme.match, scheme.mismatch, 100);
     eval::TablePrinter ptable({"path", "extensions/s", "bases/s (M)",
