@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
               WithCommas(batch->aggregate.postings_decoded).c_str(),
               WithCommas(batch->aggregate.cells_computed).c_str());
 
-  RemoveFile(col_path);
-  RemoveFile(idx_path);
+  RemoveFile(col_path).IgnoreError();
+  RemoveFile(idx_path).IgnoreError();
   return 0;
 }
