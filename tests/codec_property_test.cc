@@ -138,9 +138,9 @@ std::vector<ParamCase> AllCases() {
 INSTANTIATE_TEST_SUITE_P(
     AllCodecsAllDistributions, CodecRoundTrip,
     ::testing::ValuesIn(AllCases()),
-    [](const ::testing::TestParamInfo<ParamCase>& info) {
-      return std::string(CodecIdName(info.param.codec)) + "_" +
-             DistName(info.param.dist);
+    [](const ::testing::TestParamInfo<ParamCase>& param_info) {
+      return std::string(CodecIdName(param_info.param.codec)) + "_" +
+             DistName(param_info.param.dist);
     });
 
 TEST(CodecFactoryTest, NamesAreUniqueAndStable) {

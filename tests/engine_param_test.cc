@@ -181,8 +181,8 @@ INSTANTIATE_TEST_SUITE_P(
                      return std::make_unique<FastaLikeSearch>(
                          &fixture->collection);
                    }}),
-    [](const ::testing::TestParamInfo<EngineCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<EngineCase>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace
