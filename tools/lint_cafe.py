@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for cafe.
+
+Checks that clang-tidy / compiler warnings cannot express:
+
+  include-guard   src/ header guards must be CAFE_<PATH>_H_
+                  (src/util/check.h -> CAFE_UTIL_CHECK_H_)
+  no-throw        library code under src/ never throws; fallible APIs
+                  return Status/Result (see src/util/status.h)
+  no-naked-new    no `new`/`delete` expressions under src/ — ownership
+                  goes through smart pointers and containers
+  no-raw-assert   no raw assert() under src/ — use CAFE_CHECK /
+                  CAFE_DCHECK from util/check.h (static_assert is fine)
+  no-std-thread   std::thread only inside src/util/thread_pool.* — all
+                  other code schedules onto ThreadPool
+
+A finding on a line containing `NOLINT(cafe-<rule>)` is suppressed; use
+this only with a comment explaining why the exception is sound.
+
+Usage: tools/lint_cafe.py [repo-root]     (exit 0 = clean, 1 = findings)
+"""
+
+import os
+import re
+import sys
+
+RULE_GUARD = "cafe-include-guard"
+RULE_THROW = "cafe-no-throw"
+RULE_NEW = "cafe-no-naked-new"
+RULE_ASSERT = "cafe-no-raw-assert"
+RULE_THREAD = "cafe-no-std-thread"
+
+THROW_RE = re.compile(r"\bthrow\b")
+# `new X`, `new (nothrow) X`, `new X[...]`; `delete p`, `delete[] p`.
+# `= delete` (deleted special members) is not a delete-expression.
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()|(?<![=\s])\s*\bdelete\b|^\s*delete\b")
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+THREAD_RE = re.compile(r"\bstd::thread\b")
+
+
+def strip_code_noise(line):
+    """Removes string/char literals and // comments so the regexes only
+    see code. Block comments are handled by the caller's state."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            i += 1
+            out.append(quote + quote)  # keep an empty literal as a token
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(relpath):
+    # src/util/check.h -> CAFE_UTIL_CHECK_H_
+    inner = relpath[len("src/"):]
+    return "CAFE_" + re.sub(r"[/.]", "_", inner.upper()) + "_"
+
+
+def lint_file(root, relpath, findings):
+    path = os.path.join(root, relpath)
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().split("\n")
+
+    is_header = relpath.endswith(".h")
+    in_thread_pool = relpath.startswith("src/util/thread_pool.")
+
+    if is_header:
+        want = expected_guard(relpath)
+        guard = None
+        for ln in lines:
+            m = re.match(r"\s*#ifndef\s+(\S+)", ln)
+            if m:
+                guard = m.group(1)
+                break
+        if guard != want:
+            findings.append(
+                (relpath, 1, RULE_GUARD,
+                 f"include guard is {guard!r}, expected {want!r}"))
+
+    in_block_comment = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # Drop /* ... */ spans (single-line, or open-ended to EOL).
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+
+        code = strip_code_noise(line)
+
+        def report(rule, message):
+            if f"NOLINT({rule})" in raw:
+                return
+            findings.append((relpath, lineno, rule, message))
+
+        if THROW_RE.search(code):
+            report(RULE_THROW,
+                   "library code must return Status, not throw")
+        if NEW_RE.search(code):
+            report(RULE_NEW,
+                   "naked new/delete; use smart pointers or containers")
+        m = ASSERT_RE.search(code)
+        if m and "static_assert" not in code[:m.start() + 6]:
+            report(RULE_ASSERT,
+                   "raw assert(); use CAFE_CHECK / CAFE_DCHECK "
+                   "(util/check.h)")
+        if THREAD_RE.search(code) and not in_thread_pool:
+            report(RULE_THREAD,
+                   "std::thread outside src/util/thread_pool.*; "
+                   "use ThreadPool")
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    targets = []
+    for dirpath, _, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if name.endswith((".h", ".cc")):
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                targets.append(rel.replace(os.sep, "/"))
+    targets.sort()
+
+    findings = []
+    for rel in targets:
+        lint_file(root, rel, findings)
+
+    for relpath, lineno, rule, message in findings:
+        print(f"{relpath}:{lineno}: [{rule}] {message}")
+    print(f"lint_cafe: {len(targets)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
