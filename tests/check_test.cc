@@ -1,0 +1,96 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace cafe {
+namespace {
+
+// Death-test suites follow the gtest *DeathTest naming convention so the
+// runner schedules them first.
+
+TEST(CheckDeathTest, FailureAbortsWithFileLineAndCondition) {
+  EXPECT_DEATH(CAFE_CHECK(1 == 2),
+               "check_test\\.cc:[0-9]+: Check failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, StreamedContextIsAppended) {
+  int term = 7;
+  EXPECT_DEATH(CAFE_CHECK(false) << "while decoding term " << term,
+               "Check failed: false.*while decoding term 7");
+}
+
+TEST(CheckDeathTest, OpVariantsPrintBothOperands) {
+  int a = 3;
+  int b = 5;
+  EXPECT_DEATH(CAFE_CHECK_EQ(a, b), "Check failed: a == b \\(3 vs\\. 5\\)");
+  EXPECT_DEATH(CAFE_CHECK_NE(a, a), "Check failed: a != a \\(3 vs\\. 3\\)");
+  EXPECT_DEATH(CAFE_CHECK_LT(b, a), "Check failed: b < a \\(5 vs\\. 3\\)");
+  EXPECT_DEATH(CAFE_CHECK_LE(b, a), "Check failed: b <= a \\(5 vs\\. 3\\)");
+  EXPECT_DEATH(CAFE_CHECK_GT(a, b), "Check failed: a > b \\(3 vs\\. 5\\)");
+  EXPECT_DEATH(CAFE_CHECK_GE(a, b), "Check failed: a >= b \\(3 vs\\. 5\\)");
+}
+
+TEST(CheckDeathTest, OpVariantsStreamExtraContext) {
+  EXPECT_DEATH(CAFE_CHECK_EQ(2, 4) << "block " << 9,
+               "\\(2 vs\\. 4\\).*block 9");
+}
+
+TEST(CheckTest, PassingChecksDoNotFire) {
+  CAFE_CHECK(true);
+  CAFE_CHECK(1 + 1 == 2) << "never rendered";
+  CAFE_CHECK_EQ(4, 4);
+  CAFE_CHECK_NE(4, 5);
+  CAFE_CHECK_LT(4, 5);
+  CAFE_CHECK_LE(4, 4);
+  CAFE_CHECK_GT(5, 4);
+  CAFE_CHECK_GE(5, 5);
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto once = [&calls] {
+    ++calls;
+    return true;
+  };
+  CAFE_CHECK(once());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, WorksWithDanglingElse) {
+  // The macros must parse as a single statement.
+  if (true)
+    CAFE_CHECK(true);
+  else
+    CAFE_CHECK(false);
+
+  if (true)
+    CAFE_CHECK_EQ(1, 1);
+  else
+    CAFE_CHECK_EQ(1, 2);
+}
+
+TEST(CheckTest, DcheckMatchesBuildType) {
+#ifdef NDEBUG
+  // Release: DCHECK is compiled out and must not evaluate its operands.
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  CAFE_DCHECK(touch());
+  CAFE_DCHECK_EQ(evaluations, 12345);
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH(CAFE_DCHECK(false), "Check failed: false");
+  EXPECT_DEATH(CAFE_DCHECK_EQ(1, 2), "\\(1 vs\\. 2\\)");
+#endif
+}
+
+TEST(CheckTest, StringsAndPointersStream) {
+  std::string name = "golomb";
+  const char* literal = "param";
+  CAFE_CHECK_EQ(name, std::string("golomb")) << literal;
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,17 @@
+// Negative-compile probe: this file MUST FAIL to compile with
+// -Werror=unused-result. tests/CMakeLists.txt try_compiles it and stops
+// the configure if it ever succeeds — which would mean Status lost its
+// [[nodiscard]] and callers can silently drop errors again.
+
+#include "util/status.h"
+
+namespace {
+
+cafe::Status Fallible() { return cafe::Status::Internal("dropped"); }
+
+}  // namespace
+
+int main() {
+  Fallible();  // discarding a [[nodiscard]] Status: must not compile
+  return 0;
+}

@@ -89,6 +89,17 @@ TEST(ResultTest, MutableValue) {
   EXPECT_EQ(r.value().size(), 3u);
 }
 
+TEST(StatusTest, IgnoreErrorIsTheOnlySanctionedDrop) {
+  // Status is a [[nodiscard]] type: `Helper(true);` alone is rejected
+  // under -Werror=unused-result (tests/nodiscard_check.cc is the
+  // negative-compile probe enforcing this from tests/CMakeLists.txt).
+  // IgnoreError() is the explicit escape hatch and must stay a no-op.
+  Status s = Status::IOError("best-effort cleanup failed");
+  s.IgnoreError();
+  EXPECT_TRUE(s.IsIOError());
+  Status::OK().IgnoreError();
+}
+
 Status Helper(bool fail) {
   CAFE_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
   return Status::OK();
