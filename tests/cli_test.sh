@@ -3,7 +3,7 @@
 # (including failure paths). Run by ctest with the cli binary as $1.
 set -eu
 
-CLI="$1"
+CLI="${1:?usage: cli_test.sh <path-to-cafe_cli>}"
 DIR="$(mktemp -d "${TMPDIR:-/tmp}/cafe_cli_test.XXXXXX")"
 trap 'rm -rf "$DIR"' EXIT
 
