@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "index/disk_index.h"
 #include "eval/harness.h"
+#include "obs/trace.h"
 #include "eval/table.h"
 #include "search/blast_like.h"
 #include "search/exhaustive.h"
@@ -86,9 +87,14 @@ int main() {
                             "aligned/query", "top hit agrees"});
   double exhaustive_ms = 0.0;
   std::vector<eval::BatchResult> batches;
-  for (Row& row : rows) {
+  // One SearchTrace per engine, accumulated over the whole batch — the
+  // same observability layer behind `cafe_cli search --stats`.
+  std::vector<obs::SearchTrace> traces(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i].options.trace = &traces[i];
     batches.push_back(bench::Unwrap(
-        eval::RunBatch(row.engine, queries, row.options), row.label));
+        eval::RunBatch(rows[i].engine, queries, rows[i].options),
+        rows[i].label));
   }
   exhaustive_ms = batches.back().mean_query_seconds * 1e3;
 
@@ -115,6 +121,26 @@ int main() {
          std::to_string(agree) + "/" + std::to_string(queries.size())});
   }
   table.Print();
+
+  // Per-stage and funnel accounting from the traces: where each engine
+  // spends its time and how hard the coarse phase prunes.
+  std::printf("\nstage breakdown (per query, from SearchTrace):\n");
+  eval::TablePrinter stages({"engine", "coarse us", "fine us", "post us",
+                             "lists", "postings", "kept", "aligned"});
+  const double nq = static_cast<double>(queries.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const obs::SearchTrace& t = traces[i];
+    stages.AddRow(
+        {rows[i].label, FormatDouble(t.coarse_micros / nq, 0),
+         FormatDouble(t.fine_micros / nq, 0),
+         FormatDouble(t.post_micros / nq, 0),
+         FormatDouble(static_cast<double>(t.postings_lists_touched) / nq, 0),
+         FormatDouble(static_cast<double>(t.postings_decoded) / nq, 0),
+         FormatDouble(static_cast<double>(t.candidates_kept) / nq, 0),
+         FormatDouble(static_cast<double>(t.candidates_aligned) / nq, 0)});
+  }
+  stages.Print();
+
   std::printf("\ndisk index: %s read for %llu postings fetches "
               "(%llu cache hits)\n",
               HumanBytes((*disk)->cache_stats().bytes_read).c_str(),

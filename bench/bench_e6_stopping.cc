@@ -11,6 +11,7 @@
 #include "eval/harness.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
+#include "obs/trace.h"
 #include "search/partitioned.h"
 
 using namespace cafe;
@@ -44,7 +45,8 @@ int main() {
 
   eval::TablePrinter table({"stop fraction", "stopped terms",
                             "postings kept %", "index MB", "coarse ms/q",
-                            "total ms/q", "planted recall@20"});
+                            "total ms/q", "unindexed terms/q",
+                            "postings dec/q", "planted recall@20"});
   for (double stop : {1.0, 0.5, 0.25, 0.1, 0.05, 0.02}) {
     IndexOptions iopt;
     iopt.interval_length = 8;
@@ -56,6 +58,11 @@ int main() {
     SearchOptions options;
     options.max_results = 20;
     options.fine_candidates = 50;
+    // The trace's funnel counters show the stopping effect directly:
+    // stopped query terms surface as terms_unindexed, and the decoded
+    // postings volume shrinks with the stop fraction.
+    obs::SearchTrace trace;
+    options.trace = &trace;
     eval::BatchResult batch = bench::Unwrap(
         eval::RunBatch(&part, queries, options), "partitioned batch");
 
@@ -77,6 +84,12 @@ int main() {
                           static_cast<double>(queries.size()) * 1e3,
                       1),
          FormatDouble(batch.mean_query_seconds * 1e3, 1),
+         FormatDouble(static_cast<double>(trace.terms_unindexed) /
+                          static_cast<double>(queries.size()),
+                      0),
+         FormatDouble(static_cast<double>(trace.postings_decoded) /
+                          static_cast<double>(queries.size()),
+                      0),
          FormatDouble(recall, 3)});
   }
   table.Print();

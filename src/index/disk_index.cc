@@ -104,12 +104,14 @@ Status DiskIndex::FetchTermBytes(
   auto it = cache_.find(term);
   if (it != cache_.end()) {
     ++cache_stats_.hits;
+    if (metric_hits_ != nullptr) metric_hits_->Add(1);
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     *out = it->second.bytes;
     *first_byte_out = it->second.first_byte;
     return Status::OK();
   }
   ++cache_stats_.misses;
+  if (metric_misses_ != nullptr) metric_misses_->Add(1);
 
   auto len_it = bit_lengths_.find(term);
   if (len_it == bit_lengths_.end()) {
@@ -134,6 +136,9 @@ Status DiskIndex::FetchTermBytes(
     return Status::IOError("disk index: postings read failed");
   }
   cache_stats_.bytes_read += cache_entry.bytes->size();
+  if (metric_bytes_read_ != nullptr) {
+    metric_bytes_read_->Add(cache_entry.bytes->size());
+  }
 
   // Insert and evict.
   cache_bytes_ += cache_entry.bytes->size();
@@ -149,8 +154,24 @@ Status DiskIndex::FetchTermBytes(
     cache_bytes_ -= vit->second.bytes->size();
     cache_.erase(vit);
     ++cache_stats_.evictions;
+    if (metric_evictions_ != nullptr) metric_evictions_->Add(1);
   }
   return Status::OK();
+}
+
+void DiskIndex::AttachMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    metric_hits_ = nullptr;
+    metric_misses_ = nullptr;
+    metric_evictions_ = nullptr;
+    metric_bytes_read_ = nullptr;
+    return;
+  }
+  metric_hits_ = registry->GetCounter("disk_index.cache_hits");
+  metric_misses_ = registry->GetCounter("disk_index.cache_misses");
+  metric_evictions_ = registry->GetCounter("disk_index.cache_evictions");
+  metric_bytes_read_ = registry->GetCounter("disk_index.bytes_read");
 }
 
 void DiskIndex::ScanPostings(uint32_t term,

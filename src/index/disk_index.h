@@ -34,6 +34,7 @@
 
 #include "index/posting_source.h"
 #include "index/inverted_index.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace cafe {
@@ -70,6 +71,13 @@ class DiskIndex final : public PostingSource {
     std::lock_guard<std::mutex> lock(mu_);
     return cache_stats_;
   }
+
+  /// Mirrors cache activity into `registry` from this call on, under the
+  /// counters `disk_index.cache_hits`, `disk_index.cache_misses`,
+  /// `disk_index.cache_evictions` and `disk_index.bytes_read`. The
+  /// registry must outlive this index; pass nullptr to detach. Detached
+  /// (the default) the hot path pays only a null check.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
   /// Resident bytes: directory + current cache contents.
   uint64_t MemoryBytes() const;
@@ -115,6 +123,12 @@ class DiskIndex final : public PostingSource {
   mutable std::list<uint32_t> lru_;  // front = most recently used
   mutable std::unordered_map<uint32_t, CacheEntry> cache_;
   mutable CacheStats cache_stats_;
+
+  // Optional registry mirror (see AttachMetrics); written under mu_.
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
+  obs::Counter* metric_bytes_read_ = nullptr;
 };
 
 }  // namespace cafe

@@ -2,8 +2,10 @@
 #include <unordered_map>
 
 #include "collection/collection.h"
+#include "index/index_metrics.h"
 #include "index/interval.h"
 #include "index/inverted_index.h"
+#include "util/timer.h"
 
 namespace cafe {
 namespace {
@@ -80,7 +82,14 @@ Status IndexOptions::Validate() const {
 
 Result<InvertedIndex> IndexBuilder::Build(const SequenceCollection& collection,
                                           const IndexOptions& options) {
-  return BuildRange(collection, options, 0, collection.NumSequences());
+  WallTimer timer;
+  Result<InvertedIndex> built =
+      BuildRange(collection, options, 0, collection.NumSequences());
+  if (built.ok()) {
+    RecordIndexBuildMetrics(options.metrics, (*built).stats(),
+                            (*built).num_docs(), timer.Micros());
+  }
+  return built;
 }
 
 Result<InvertedIndex> IndexBuilder::BuildRange(

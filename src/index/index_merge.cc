@@ -4,8 +4,10 @@
 #include <map>
 
 #include "collection/collection.h"
+#include "index/index_metrics.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace cafe {
 
@@ -123,6 +125,7 @@ Result<InvertedIndex> BuildSharded(const SequenceCollection& collection,
                                    const IndexOptions& options,
                                    uint32_t docs_per_shard,
                                    unsigned threads) {
+  WallTimer timer;
   if (docs_per_shard == 0) {
     return Status::InvalidArgument("docs_per_shard must be positive");
   }
@@ -175,7 +178,14 @@ Result<InvertedIndex> BuildSharded(const SequenceCollection& collection,
   std::vector<const InvertedIndex*> shard_ptrs;
   shard_ptrs.reserve(shards.size());
   for (const InvertedIndex& s : shards) shard_ptrs.push_back(&s);
-  return MergeIndexes(shard_ptrs, offsets);
+  Result<InvertedIndex> merged = MergeIndexes(shard_ptrs, offsets);
+  // BuildRange does not record (shards are an implementation detail);
+  // the sharded build counts as one user-visible build here.
+  if (merged.ok()) {
+    RecordIndexBuildMetrics(options.metrics, (*merged).stats(),
+                            (*merged).num_docs(), timer.Micros());
+  }
+  return merged;
 }
 
 Result<InvertedIndex> IndexBuilder::BuildParallel(

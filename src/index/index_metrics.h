@@ -1,0 +1,39 @@
+// Recording helper bridging index builds to the observability layer.
+//
+// Kept out of inverted_index.h so that header only needs a forward
+// declaration of obs::MetricsRegistry; the .cc files that actually
+// record (index_builder.cc, index_merge.cc) include this.
+
+#ifndef CAFE_INDEX_INDEX_METRICS_H_
+#define CAFE_INDEX_INDEX_METRICS_H_
+
+#include <cstdint>
+
+#include "index/inverted_index.h"
+#include "obs/metrics.h"
+
+namespace cafe {
+
+/// Records one completed index build into `registry` (no-op when null).
+/// Call exactly once per top-level build so `index_build.builds` counts
+/// user-visible builds, not internal shards.
+inline void RecordIndexBuildMetrics(obs::MetricsRegistry* registry,
+                                    const IndexStats& stats,
+                                    uint64_t num_docs, double micros) {
+  if (registry == nullptr) return;
+  registry->GetCounter("index_build.builds")->Add(1);
+  registry->GetCounter("index_build.docs_indexed")->Add(num_docs);
+  registry->GetCounter("index_build.terms_indexed")->Add(stats.num_terms);
+  registry->GetCounter("index_build.postings_indexed")
+      ->Add(stats.total_postings);
+  registry->GetCounter("index_build.terms_stopped")
+      ->Add(stats.stopped_terms);
+  registry->GetCounter("index_build.postings_stopped")
+      ->Add(stats.stopped_postings);
+  registry->GetHistogram("index_build.build_micros")
+      ->Record(micros <= 0.0 ? 0 : static_cast<uint64_t>(micros));
+}
+
+}  // namespace cafe
+
+#endif  // CAFE_INDEX_INDEX_METRICS_H_

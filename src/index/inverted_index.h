@@ -23,6 +23,10 @@
 
 namespace cafe {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class SequenceCollection;
 
 /// Build-time knobs. Defaults follow the CAFE practice: overlapping
@@ -44,6 +48,13 @@ struct IndexOptions {
   /// coarse search simply never sees stopped terms — the lossy
   /// acceleration the CAFE papers describe.
   double stop_doc_fraction = 1.0;
+
+  /// Optional observability sink (obs/metrics.h). Runtime-only: never
+  /// serialized, never affects index contents. When non-null, top-level
+  /// builds (Build, BuildParallel, BuildSharded) record the
+  /// `index_build.*` counters and the `index_build.build_micros`
+  /// histogram into it exactly once per build.
+  obs::MetricsRegistry* metrics = nullptr;
 
   [[nodiscard]] Status Validate() const;
 };

@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace cafe::obs {
+
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  static thread_local size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = min == UINT64_MAX ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::SnapshotText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", name.c_str(),
+                  counter->Value());
+    out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot s = histogram->Snap();
+    std::snprintf(line, sizeof(line),
+                  "%s count=%" PRIu64 " mean=%.1f min=%" PRIu64
+                  " max=%" PRIu64 "\n",
+                  name.c_str(), s.count, s.Mean(), s.min, s.max);
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  char buf[128];
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, name.c_str(),
+                  counter->Value());
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    Histogram::Snapshot s = histogram->Snap();
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"min\":%" PRIu64 ",\"max\":%" PRIu64
+                  ",\"mean\":%.3f,\"buckets\":{",
+                  name.c_str(), s.count, s.sum, s.min, s.max, s.Mean());
+    out += buf;
+    bool first_bucket = true;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      std::snprintf(buf, sizeof(buf), "\"%zu\":%" PRIu64, i, s.buckets[i]);
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cafe::obs

@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cafe::obs {
+
+void SearchTrace::Merge(const SearchTrace& other) {
+  queries += other.queries;
+  intervals_extracted += other.intervals_extracted;
+  terms_distinct += other.terms_distinct;
+  terms_unindexed += other.terms_unindexed;
+  postings_lists_touched += other.postings_lists_touched;
+  postings_decoded += other.postings_decoded;
+  candidates_ranked += other.candidates_ranked;
+  candidates_kept += other.candidates_kept;
+  candidates_discarded += other.candidates_discarded;
+  candidates_aligned += other.candidates_aligned;
+  cells_computed += other.cells_computed;
+  hits_reported += other.hits_reported;
+  coarse_micros += other.coarse_micros;
+  fine_micros += other.fine_micros;
+  post_micros += other.post_micros;
+  total_micros += other.total_micros;
+}
+
+std::string SearchTrace::CountersJson() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"queries\":%" PRIu64 ",\"intervals_extracted\":%" PRIu64
+      ",\"terms_distinct\":%" PRIu64 ",\"terms_unindexed\":%" PRIu64
+      ",\"postings_lists_touched\":%" PRIu64 ",\"postings_decoded\":%" PRIu64
+      ",\"candidates_ranked\":%" PRIu64 ",\"candidates_kept\":%" PRIu64
+      ",\"candidates_discarded\":%" PRIu64 ",\"candidates_aligned\":%" PRIu64
+      ",\"cells_computed\":%" PRIu64 ",\"hits_reported\":%" PRIu64 "}",
+      queries, intervals_extracted, terms_distinct, terms_unindexed,
+      postings_lists_touched, postings_decoded, candidates_ranked,
+      candidates_kept, candidates_discarded, candidates_aligned,
+      cells_computed, hits_reported);
+  return buf;
+}
+
+std::string SearchTrace::ToJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\"timings_us\":{\"coarse\":%.1f,\"fine\":%.1f,"
+                "\"post\":%.1f,\"total\":%.1f}}",
+                coarse_micros, fine_micros, post_micros, total_micros);
+  return "{\"counters\":" + CountersJson() + buf;
+}
+
+std::string SearchTrace::ToText() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  funnel: %" PRIu64 " intervals -> %" PRIu64
+      " distinct terms (%" PRIu64 " unindexed) -> %" PRIu64
+      " lists, %" PRIu64 " postings decoded -> %" PRIu64
+      " candidates ranked (%" PRIu64 " discarded) -> %" PRIu64
+      " aligned -> %" PRIu64 " hits\n"
+      "  work:   %" PRIu64 " DP cells over %" PRIu64 " strand pass(es)\n"
+      "  time:   coarse %.1f us, fine %.1f us, post %.1f us, "
+      "total %.1f us\n",
+      intervals_extracted, terms_distinct, terms_unindexed,
+      postings_lists_touched, postings_decoded, candidates_ranked,
+      candidates_discarded, candidates_aligned, hits_reported,
+      cells_computed, queries, coarse_micros, fine_micros, post_micros,
+      total_micros);
+  return buf;
+}
+
+}  // namespace cafe::obs

@@ -1,0 +1,92 @@
+// Per-query search tracing: the pruning funnel and per-phase timings
+// behind one partitioned query, recorded by the engines when a trace is
+// attached to SearchOptions (null pointer = zero work beyond the check).
+//
+// The counter fields are *deterministic*: for a given engine, query,
+// index and options they are identical at every SearchOptions::threads
+// setting (per-worker sums are merged, and every merge order produces
+// the same totals) — asserted by obs_test. Timings are wall-clock and
+// vary run to run; CountersJson() exists so callers can compare the
+// deterministic part byte-for-byte.
+
+#ifndef CAFE_OBS_TRACE_H_
+#define CAFE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/timer.h"
+
+namespace cafe::obs {
+
+struct SearchTrace {
+  // --- The pruning funnel (deterministic counters) -------------------
+  /// Search() calls merged into this trace (2 per query with
+  /// search_both_strands, 1 otherwise).
+  uint64_t queries = 0;
+  /// Interval occurrences extracted from the query (stride 1).
+  uint64_t intervals_extracted = 0;
+  /// Distinct interval terms among them.
+  uint64_t terms_distinct = 0;
+  /// Query terms with no postings list — stopped at build time or never
+  /// seen in the collection. The index-stopping savings show up here.
+  uint64_t terms_unindexed = 0;
+  /// Postings lists actually fetched and decoded.
+  uint64_t postings_lists_touched = 0;
+  /// Postings entries decoded across those lists.
+  uint64_t postings_decoded = 0;
+  /// Sequences with non-zero coarse evidence.
+  uint64_t candidates_ranked = 0;
+  /// Candidates surviving the coarse cut (<= fine_candidates).
+  uint64_t candidates_kept = 0;
+  /// Candidates the coarse cut discarded (ranked - kept).
+  uint64_t candidates_discarded = 0;
+  /// Sequences that received fine (DP) scoring.
+  uint64_t candidates_aligned = 0;
+  /// DP cells computed (banded + full, including rescore/traceback).
+  uint64_t cells_computed = 0;
+  /// Hits reported to the caller.
+  uint64_t hits_reported = 0;
+
+  // --- Per-phase wall clock (microseconds; NOT deterministic) --------
+  double coarse_micros = 0.0;
+  double fine_micros = 0.0;
+  /// Post-processing: full rescoring and traceback of reported hits.
+  double post_micros = 0.0;
+  double total_micros = 0.0;
+
+  /// Field-wise accumulation; merge order does not affect the result.
+  void Merge(const SearchTrace& other);
+
+  /// JSON object of the deterministic counters only, fixed field order —
+  /// byte-identical across thread counts for the same work.
+  std::string CountersJson() const;
+
+  /// {"counters": …, "timings_us": {"coarse":…, "fine":…, "post":…,
+  ///  "total":…}}
+  std::string ToJson() const;
+
+  /// Human-readable multi-line rendering (the CLI's --stats output).
+  std::string ToText() const;
+};
+
+/// RAII span adding elapsed microseconds to a phase field on
+/// destruction. Null sink = no-op, so call sites stay unconditional:
+///   obs::TraceSpan span(trace ? &trace->coarse_micros : nullptr);
+class TraceSpan {
+ public:
+  explicit TraceSpan(double* sink_micros) : sink_(sink_micros) {}
+  ~TraceSpan() {
+    if (sink_ != nullptr) *sink_ += timer_.Micros();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace cafe::obs
+
+#endif  // CAFE_OBS_TRACE_H_

@@ -21,6 +21,12 @@ Result<SearchResult> BlastLikeSearch::Search(std::string_view query,
   }
 
   WallTimer total;
+  obs::SearchTrace* trace = options.trace;
+  obs::TraceSpan total_span(trace != nullptr ? &trace->total_micros
+                                             : nullptr);
+  obs::TraceSpan fine_span(trace != nullptr ? &trace->fine_micros
+                                            : nullptr);
+  if (trace != nullptr) ++trace->queries;
   SearchResult result;
   Aligner aligner(options.scoring);
   PairScoreTable table(options.scoring);
@@ -32,6 +38,12 @@ Result<SearchResult> BlastLikeSearch::Search(std::string_view query,
                   [&](uint32_t pos, uint32_t term) {
                     words[term].push_back(pos);
                   });
+  if (trace != nullptr) {
+    trace->terms_distinct += words.size();
+    for (const auto& [term, positions] : words) {
+      trace->intervals_extracted += positions.size();
+    }
+  }
 
   std::string seq;
   const uint32_t num_docs = collection_->NumSequences();
@@ -98,6 +110,13 @@ Result<SearchResult> BlastLikeSearch::Search(std::string_view query,
   result.stats.cells_computed = aligner.cells_computed();
   result.stats.fine_seconds = total.Seconds();
   result.stats.total_seconds = result.stats.fine_seconds;
+  if (trace != nullptr) {
+    trace->candidates_ranked += result.stats.candidates_ranked;
+    trace->candidates_kept += result.stats.candidates_ranked;
+    trace->candidates_aligned += result.stats.candidates_aligned;
+    trace->cells_computed += result.stats.cells_computed;
+    trace->hits_reported += result.hits.size();
+  }
   if (options.statistics.has_value()) {
     AnnotateStatistics(&result, query.size(), collection_->TotalBases(),
                        *options.statistics);

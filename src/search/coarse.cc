@@ -22,6 +22,26 @@ std::unordered_map<uint32_t, std::vector<uint32_t>> QueryTermPositions(
   return terms;
 }
 
+// Counts the query-side stages of the funnel: interval occurrences,
+// distinct terms, and how many terms have a postings list at all (the
+// rest were stopped at build time or never occurred). Null trace = no
+// work beyond the check.
+void TraceQueryTerms(
+    const PostingSource* index,
+    const std::unordered_map<uint32_t, std::vector<uint32_t>>& terms,
+    obs::SearchTrace* trace) {
+  if (trace == nullptr) return;
+  trace->terms_distinct += terms.size();
+  for (const auto& [term, qpositions] : terms) {
+    trace->intervals_extracted += qpositions.size();
+    if (index->FindTerm(term) == nullptr) {
+      ++trace->terms_unindexed;
+    } else {
+      ++trace->postings_lists_touched;
+    }
+  }
+}
+
 std::vector<CoarseCandidate> SelectTop(std::vector<CoarseCandidate> all,
                                        uint32_t limit) {
   auto better = [](const CoarseCandidate& a, const CoarseCandidate& b) {
@@ -38,27 +58,32 @@ std::vector<CoarseCandidate> SelectTop(std::vector<CoarseCandidate> all,
 
 }  // namespace
 
-std::vector<CoarseCandidate> CoarseRanker::Rank(std::string_view query,
-                                                CoarseRankMode mode,
-                                                uint32_t limit,
-                                                uint32_t frame_width,
-                                                SearchStats* stats) const {
+std::vector<CoarseCandidate> CoarseRanker::Rank(
+    std::string_view query, CoarseRankMode mode, uint32_t limit,
+    uint32_t frame_width, SearchStats* stats,
+    obs::SearchTrace* trace) const {
   WallTimer timer;
+  obs::TraceSpan span(trace != nullptr ? &trace->coarse_micros : nullptr);
   std::vector<CoarseCandidate> out;
   if (mode == CoarseRankMode::kDiagonal &&
       index_->options().granularity == IndexGranularity::kPositional) {
-    out = RankDiagonal(query, limit, frame_width, stats);
+    out = RankDiagonal(query, limit, frame_width, stats, trace);
   } else {
-    out = RankHitCount(query, limit, stats);
+    out = RankHitCount(query, limit, stats, trace);
+  }
+  if (trace != nullptr) {
+    trace->candidates_kept += out.size();
   }
   if (stats != nullptr) stats->coarse_seconds += timer.Seconds();
   return out;
 }
 
 std::vector<CoarseCandidate> CoarseRanker::RankHitCount(
-    std::string_view query, uint32_t limit, SearchStats* stats) const {
+    std::string_view query, uint32_t limit, SearchStats* stats,
+    obs::SearchTrace* trace) const {
   const int n = index_->options().interval_length;
   auto terms = QueryTermPositions(query, n);
+  TraceQueryTerms(index_, terms, trace);
 
   std::vector<double> acc(index_->num_docs(), 0.0);
   std::vector<uint32_t> touched;
@@ -82,15 +107,22 @@ std::vector<CoarseCandidate> CoarseRanker::RankHitCount(
     stats->postings_decoded += postings;
     stats->candidates_ranked += all.size();
   }
+  if (trace != nullptr) {
+    trace->postings_decoded += postings;
+    trace->candidates_ranked += all.size();
+    trace->candidates_discarded +=
+        all.size() > limit ? all.size() - limit : 0;
+  }
   return SelectTop(std::move(all), limit);
 }
 
 std::vector<CoarseCandidate> CoarseRanker::RankDiagonal(
     std::string_view query, uint32_t limit, uint32_t frame_width,
-    SearchStats* stats) const {
+    SearchStats* stats, obs::SearchTrace* trace) const {
   const int n = index_->options().interval_length;
   if (frame_width == 0) frame_width = 16;
   auto terms = QueryTermPositions(query, n);
+  TraceQueryTerms(index_, terms, trace);
   const int64_t qlen = static_cast<int64_t>(query.size());
 
   // (doc, frame) -> number of interval hits whose diagonal falls in the
@@ -144,6 +176,12 @@ std::vector<CoarseCandidate> CoarseRanker::RankDiagonal(
   if (stats != nullptr) {
     stats->postings_decoded += postings;
     stats->candidates_ranked += all.size();
+  }
+  if (trace != nullptr) {
+    trace->postings_decoded += postings;
+    trace->candidates_ranked += all.size();
+    trace->candidates_discarded +=
+        all.size() > limit ? all.size() - limit : 0;
   }
   return SelectTop(std::move(all), limit);
 }

@@ -33,20 +33,24 @@ class CoarseRanker {
   /// Ranks all matching sequences and returns the best `limit` in
   /// descending score order. `mode` falls back to kHitCount when the
   /// index lacks positions. Updates stats (postings_decoded,
-  /// candidates_ranked, coarse_seconds).
+  /// candidates_ranked, coarse_seconds) and, when `trace` is non-null,
+  /// the coarse stages of the pruning funnel (interval/term counts,
+  /// lists touched, candidates ranked/kept/discarded, coarse_micros).
   std::vector<CoarseCandidate> Rank(std::string_view query,
                                     CoarseRankMode mode, uint32_t limit,
-                                    uint32_t frame_width,
-                                    SearchStats* stats) const;
+                                    uint32_t frame_width, SearchStats* stats,
+                                    obs::SearchTrace* trace = nullptr) const;
 
  private:
   std::vector<CoarseCandidate> RankHitCount(std::string_view query,
                                             uint32_t limit,
-                                            SearchStats* stats) const;
+                                            SearchStats* stats,
+                                            obs::SearchTrace* trace) const;
   std::vector<CoarseCandidate> RankDiagonal(std::string_view query,
                                             uint32_t limit,
                                             uint32_t frame_width,
-                                            SearchStats* stats) const;
+                                            SearchStats* stats,
+                                            obs::SearchTrace* trace) const;
 
   const PostingSource* index_;
 };

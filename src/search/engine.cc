@@ -54,42 +54,65 @@ int TopHits::Floor() const {
 
 Result<std::vector<SearchResult>> SearchEngine::BatchSearch(
     const std::vector<std::string>& queries, const SearchOptions& options) {
+  return BatchSearchTraced(queries, options, nullptr);
+}
+
+Result<std::vector<SearchResult>> SearchEngine::BatchSearchTraced(
+    const std::vector<std::string>& queries, const SearchOptions& options,
+    std::vector<obs::SearchTrace>* traces) {
   std::vector<SearchResult> results(queries.size());
+  // Each query records into its own slot so concurrent queries never
+  // share a trace; options.trace receives the input-order merge at the
+  // end, making batch totals independent of the thread count.
+  std::vector<obs::SearchTrace> local_traces;
+  obs::SearchTrace* caller_trace = options.trace;
+  const bool tracing = traces != nullptr || caller_trace != nullptr;
+  std::vector<obs::SearchTrace>* slots =
+      traces != nullptr ? traces : &local_traces;
+  if (tracing) slots->assign(queries.size(), obs::SearchTrace{});
+
   const uint32_t requested = options.threads == 0
                                  ? ThreadPool::HardwareThreads()
                                  : options.threads;
   const bool concurrent = requested > 1 && queries.size() > 1 &&
                           SupportsConcurrentSearch();
   if (!concurrent) {
+    SearchOptions per_query = options;
     for (size_t i = 0; i < queries.size(); ++i) {
+      per_query.trace = tracing ? &(*slots)[i] : nullptr;
       Result<SearchResult> r =
-          SearchWithStrands(this, queries[i], options);
+          SearchWithStrands(this, queries[i], per_query);
       if (!r.ok()) return r.status();
       results[i] = std::move(*r);
     }
-    return results;
-  }
-
-  // One worker per query slot, each query internally sequential so the
-  // pool is never entered recursively. Per-query results are the same
-  // objects the sequential loop would produce, so the batch is
-  // deterministic under any thread count.
-  SearchOptions per_query = options;
-  per_query.threads = 1;
-  const size_t workers = std::min<size_t>(requested, queries.size());
-  std::vector<Status> errors(queries.size(), Status::OK());
-  ThreadPool pool(static_cast<unsigned>(workers));
-  pool.ParallelFor(queries.size(), [&](size_t i, unsigned /*worker*/) {
-    Result<SearchResult> r =
-        SearchWithStrands(this, queries[i], per_query);
-    if (r.ok()) {
-      results[i] = std::move(*r);
-    } else {
-      errors[i] = r.status();
+  } else {
+    // One worker per query slot, each query internally sequential so the
+    // pool is never entered recursively. Per-query results are the same
+    // objects the sequential loop would produce, so the batch is
+    // deterministic under any thread count.
+    SearchOptions per_query = options;
+    per_query.threads = 1;
+    per_query.trace = nullptr;
+    const size_t workers = std::min<size_t>(requested, queries.size());
+    std::vector<Status> errors(queries.size(), Status::OK());
+    ThreadPool pool(static_cast<unsigned>(workers));
+    pool.ParallelFor(queries.size(), [&](size_t i, unsigned /*worker*/) {
+      SearchOptions query_options = per_query;
+      query_options.trace = tracing ? &(*slots)[i] : nullptr;
+      Result<SearchResult> r =
+          SearchWithStrands(this, queries[i], query_options);
+      if (r.ok()) {
+        results[i] = std::move(*r);
+      } else {
+        errors[i] = r.status();
+      }
+    });
+    for (const Status& s : errors) {
+      if (!s.ok()) return s;
     }
-  });
-  for (const Status& s : errors) {
-    if (!s.ok()) return s;
+  }
+  if (caller_trace != nullptr) {
+    for (const obs::SearchTrace& t : *slots) caller_trace->Merge(t);
   }
   return results;
 }

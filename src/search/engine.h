@@ -18,6 +18,7 @@
 #include "align/alignment.h"
 #include "align/scoring.h"
 #include "align/statistics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace cafe {
@@ -82,6 +83,16 @@ struct SearchOptions {
   /// one worker per hardware thread. Results are identical at every
   /// setting — parallelism only changes wall time.
   uint32_t threads = 1;
+
+  /// Observability hook: when non-null, the engine accumulates the
+  /// per-stage pruning funnel and phase timings of every Search() call
+  /// into this trace (+=, never overwritten, so strand passes and
+  /// sequential batches compose). The pointer must stay valid for the
+  /// duration of the call and is written from the calling thread only;
+  /// BatchSearch gives each concurrent query a private trace and merges
+  /// them in input order, so counters stay deterministic at any thread
+  /// count. Null (the default) costs one branch per guarded site.
+  obs::SearchTrace* trace = nullptr;
 
   ScoringScheme scoring;
 };
@@ -155,6 +166,15 @@ class SearchEngine {
   Result<std::vector<SearchResult>> BatchSearch(
       const std::vector<std::string>& queries,
       const SearchOptions& options);
+
+  /// BatchSearch that also returns one SearchTrace per query (in input
+  /// order; `traces` is resized to queries.size()). Per-query traces are
+  /// recorded into private structs even when queries run concurrently,
+  /// then options.trace (if set) additionally receives their merge in
+  /// input order — so batch totals are identical at every thread count.
+  Result<std::vector<SearchResult>> BatchSearchTraced(
+      const std::vector<std::string>& queries, const SearchOptions& options,
+      std::vector<obs::SearchTrace>* traces);
 };
 
 /// Evaluates the query through `engine`, and — when

@@ -13,6 +13,12 @@ Result<SearchResult> ExhaustiveSearch::Search(std::string_view query,
   }
 
   WallTimer total;
+  obs::SearchTrace* trace = options.trace;
+  obs::TraceSpan total_span(trace != nullptr ? &trace->total_micros
+                                             : nullptr);
+  obs::TraceSpan fine_span(trace != nullptr ? &trace->fine_micros
+                                            : nullptr);
+  if (trace != nullptr) ++trace->queries;
   SearchResult result;
   Aligner aligner(options.scoring);
   TopHits top(options.max_results);
@@ -43,6 +49,14 @@ Result<SearchResult> ExhaustiveSearch::Search(std::string_view query,
   result.stats.cells_computed = aligner.cells_computed();
   result.stats.fine_seconds = total.Seconds();
   result.stats.total_seconds = result.stats.fine_seconds;
+  if (trace != nullptr) {
+    // No coarse phase: every sequence is a kept candidate.
+    trace->candidates_ranked += num_docs;
+    trace->candidates_kept += num_docs;
+    trace->candidates_aligned += result.stats.candidates_aligned;
+    trace->cells_computed += result.stats.cells_computed;
+    trace->hits_reported += result.hits.size();
+  }
   if (options.statistics.has_value()) {
     AnnotateStatistics(&result, query.size(), collection_->TotalBases(),
                        *options.statistics);

@@ -18,6 +18,12 @@ Result<SearchResult> FastaLikeSearch::Search(std::string_view query,
   }
 
   WallTimer total;
+  obs::SearchTrace* trace = options.trace;
+  obs::TraceSpan total_span(trace != nullptr ? &trace->total_micros
+                                             : nullptr);
+  obs::TraceSpan fine_span(trace != nullptr ? &trace->fine_micros
+                                            : nullptr);
+  if (trace != nullptr) ++trace->queries;
   SearchResult result;
   Aligner aligner(options.scoring);
   TopHits top(options.max_results);
@@ -27,6 +33,10 @@ Result<SearchResult> FastaLikeSearch::Search(std::string_view query,
   ForEachInterval(query, k, /*stride=*/1,
                   [&](uint32_t pos, uint32_t term) {
                     lookup[term].push_back(pos);
+                    if (trace != nullptr) {
+                      ++trace->intervals_extracted;
+                      if (lookup[term].size() == 1) ++trace->terms_distinct;
+                    }
                   });
 
   const int64_t qlen = static_cast<int64_t>(query.size());
@@ -87,6 +97,13 @@ Result<SearchResult> FastaLikeSearch::Search(std::string_view query,
   result.stats.cells_computed = aligner.cells_computed();
   result.stats.fine_seconds = total.Seconds();
   result.stats.total_seconds = result.stats.fine_seconds;
+  if (trace != nullptr) {
+    trace->candidates_ranked += result.stats.candidates_ranked;
+    trace->candidates_kept += result.stats.candidates_ranked;
+    trace->candidates_aligned += result.stats.candidates_aligned;
+    trace->cells_computed += result.stats.cells_computed;
+    trace->hits_reported += result.hits.size();
+  }
   if (options.statistics.has_value()) {
     AnnotateStatistics(&result, query.size(), collection_->TotalBases(),
                        *options.statistics);

@@ -66,12 +66,16 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
   }
 
   WallTimer total;
+  obs::SearchTrace* trace = options.trace;
+  obs::TraceSpan total_span(trace != nullptr ? &trace->total_micros
+                                             : nullptr);
+  if (trace != nullptr) ++trace->queries;
   SearchResult result;
 
   // Coarse phase: rank by interval evidence, keep the fine-search budget.
   std::vector<CoarseCandidate> candidates = ranker_.Rank(
       query, options.coarse_mode, options.fine_candidates,
-      options.frame_width, &result.stats);
+      options.frame_width, &result.stats, trace);
 
   // Fine phase: local alignment on the candidates only. Each candidate
   // is independent, so with threads > 1 the candidates are spread over a
@@ -124,9 +128,16 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
     result.hits = top.Take();
   }
 
+  if (trace != nullptr) {
+    trace->fine_micros += fine.Micros();
+    trace->candidates_aligned += result.stats.candidates_aligned;
+  }
+
   // Post-processing on the reported hits (at most max_results of them)
   // stays sequential: it is cheap, and keeping it single-threaded keeps
   // the output trivially deterministic.
+  obs::TraceSpan post_span(trace != nullptr ? &trace->post_micros
+                                            : nullptr);
   Aligner post_aligner(options.scoring);
   std::string seq;
   if (options.rescore_full) {
@@ -171,6 +182,10 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
   result.stats.cells_computed += post_aligner.cells_computed();
   result.stats.fine_seconds += fine.Seconds();
   result.stats.total_seconds += total.Seconds();
+  if (trace != nullptr) {
+    trace->cells_computed += result.stats.cells_computed;
+    trace->hits_reported += result.hits.size();
+  }
   if (options.statistics.has_value()) {
     AnnotateStatistics(&result, query.size(), collection_->TotalBases(),
                        *options.statistics);

@@ -46,6 +46,41 @@ printf '>probe\n%s\n' "$QUERY" > "$DIR/q.fa"
     --query-file "$DIR/q.fa" --top 1 --traceback > "$DIR/log" 2>&1
 grep -q "identity 100%" "$DIR/log"
 
+# Observability: --stats appends the trace funnel; --stats=json makes
+# stdout a single JSON document (validated when python3 is available).
+"$CLI" search --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query "$QUERY" --top 3 --stats > "$DIR/log" 2>&1
+grep -q "funnel:" "$DIR/log"
+grep -q "candidates ranked" "$DIR/log"
+
+"$CLI" search --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query "$QUERY" --top 3 --disk-index --stats=json > "$DIR/stats.json"
+grep -q '"trace_total"' "$DIR/stats.json"
+grep -q '"postings_decoded"' "$DIR/stats.json"
+grep -q '"timings_us"' "$DIR/stats.json"
+grep -q 'disk_index.cache_misses' "$DIR/stats.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$DIR/stats.json" > /dev/null
+fi
+
+"$CLI" build --fasta "$DIR/db.fa" --collection "$DIR/db3.col" \
+    --index "$DIR/db3.idx" --stats=json > "$DIR/build.json"
+grep -q 'index_build.builds' "$DIR/build.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$DIR/build.json" > /dev/null
+fi
+
+# batch = search over a query file; rejects inline --query.
+"$CLI" batch --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query-file "$DIR/q.fa" --top 1 > "$DIR/log" 2>&1
+grep -q "probe" "$DIR/log"
+if "$CLI" batch --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query ACGTACGTACGT > "$DIR/log" 2>&1; then
+  echo "expected failure: batch without --query-file" >&2
+  exit 1
+fi
+grep -q "query-file" "$DIR/log"
+
 # Failure paths must exit non-zero with a diagnostic.
 if "$CLI" search --collection "$DIR/db.col" --index "$DIR/db.idx" \
     > "$DIR/log" 2>&1; then

@@ -1,0 +1,279 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "search/partitioned.h"
+#include "sim/workload.h"
+#include "util/thread_pool.h"
+
+namespace cafe {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndSums) {
+  obs::Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(3);
+  c.Increment();
+  c.Add(0);
+  EXPECT_EQ(c.Value(), 4u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  // Exercised under TSan in CI: striped relaxed increments must be both
+  // race-free and lossless.
+  obs::Counter c;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 10000;
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads * kPerThread,
+                   [&](size_t /*i*/, unsigned /*w*/) { c.Add(1); });
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, BucketsByBitWidth) {
+  obs::Histogram h;
+  h.Record(0);     // bucket 0
+  h.Record(1);     // bucket 1
+  h.Record(2);     // bucket 2
+  h.Record(3);     // bucket 2
+  h.Record(1024);  // bucket 11
+  obs::Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 1030u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1024u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 206.0);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[11], 1u);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  obs::Histogram h;
+  obs::Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  obs::Histogram h;
+  constexpr size_t kSamples = 40000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kSamples, [&](size_t i, unsigned /*w*/) {
+    h.Record(i % 7);
+  });
+  obs::Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, kSamples);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 6u);
+}
+
+TEST(RegistryTest, StablePointersPerName) {
+  obs::MetricsRegistry r;
+  obs::Counter* a = r.GetCounter("x.a");
+  obs::Counter* b = r.GetCounter("x.b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, r.GetCounter("x.a"));
+  obs::Histogram* h = r.GetHistogram("x.h");
+  EXPECT_EQ(h, r.GetHistogram("x.h"));
+}
+
+TEST(RegistryTest, SnapshotsAreDeterministicForEqualState) {
+  // Same metric state -> byte-identical exports, regardless of the
+  // registration order (std::map sorts by name).
+  obs::MetricsRegistry r1, r2;
+  r1.GetCounter("b")->Add(2);
+  r1.GetCounter("a")->Add(1);
+  r1.GetHistogram("h")->Record(5);
+  r2.GetCounter("a")->Add(1);
+  r2.GetHistogram("h")->Record(5);
+  r2.GetCounter("b")->Add(2);
+  EXPECT_EQ(r1.SnapshotText(), r2.SnapshotText());
+  EXPECT_EQ(r1.SnapshotJson(), r2.SnapshotJson());
+  EXPECT_NE(r1.SnapshotJson().find("\"a\":1"), std::string::npos);
+  EXPECT_NE(r1.SnapshotJson().find("\"counters\""), std::string::npos);
+  EXPECT_NE(r1.SnapshotJson().find("\"histograms\""), std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationIsSafe) {
+  obs::MetricsRegistry r;
+  ThreadPool pool(8);
+  pool.ParallelFor(1000, [&](size_t i, unsigned /*w*/) {
+    r.GetCounter(i % 2 == 0 ? "even" : "odd")->Add(1);
+  });
+  EXPECT_EQ(r.GetCounter("even")->Value(), 500u);
+  EXPECT_EQ(r.GetCounter("odd")->Value(), 500u);
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::JsonEscape(std::string("a\x01", 2)), "a\\u0001");
+}
+
+TEST(TimerTest, RecordsOnDestruction) {
+  obs::Histogram h;
+  { obs::Timer t(&h); }
+  EXPECT_EQ(h.Snap().count, 1u);
+  { obs::Timer t(nullptr); }  // detached: must be a no-op
+  EXPECT_EQ(h.Snap().count, 1u);
+}
+
+TEST(TraceSpanTest, AccumulatesMicros) {
+  double sink = 0.0;
+  { obs::TraceSpan span(&sink); }
+  EXPECT_GE(sink, 0.0);
+  double before = sink;
+  { obs::TraceSpan span(nullptr); }  // detached: must be a no-op
+  EXPECT_EQ(sink, before);
+}
+
+TEST(SearchTraceTest, MergeIsFieldwise) {
+  obs::SearchTrace a, b;
+  a.queries = 1;
+  a.intervals_extracted = 10;
+  a.cells_computed = 100;
+  a.coarse_micros = 1.5;
+  b.queries = 2;
+  b.intervals_extracted = 5;
+  b.hits_reported = 3;
+  b.coarse_micros = 2.5;
+  a.Merge(b);
+  EXPECT_EQ(a.queries, 3u);
+  EXPECT_EQ(a.intervals_extracted, 15u);
+  EXPECT_EQ(a.cells_computed, 100u);
+  EXPECT_EQ(a.hits_reported, 3u);
+  EXPECT_DOUBLE_EQ(a.coarse_micros, 4.0);
+}
+
+TEST(SearchTraceTest, CountersJsonExcludesTimings) {
+  obs::SearchTrace t;
+  t.queries = 1;
+  t.total_micros = 123456.0;  // must not appear in the counters document
+  std::string json = t.CountersJson();
+  EXPECT_NE(json.find("\"queries\":1"), std::string::npos);
+  EXPECT_EQ(json.find("micros"), std::string::npos);
+  EXPECT_EQ(json.find("123456"), std::string::npos);
+  EXPECT_NE(t.ToJson().find("\"timings_us\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the SearchTrace counters must be byte-identical at every
+// thread count — the per-worker sums commute and BatchSearchTraced
+// merges per-query slots in input order.
+
+struct Fixture {
+  SequenceCollection collection;
+  InvertedIndex index;
+  std::vector<sim::PlantedQuery> queries;
+};
+
+Fixture MakeFixture() {
+  sim::CollectionOptions copt;
+  copt.num_sequences = 60;
+  copt.length_mu = 6.0;
+  copt.length_sigma = 0.4;
+  copt.seed = 99;
+  sim::WorkloadOptions wopt;
+  wopt.num_queries = 4;
+  wopt.query_length = 200;
+  wopt.homologs_per_query = 3;
+  wopt.min_homolog_divergence = 0.03;
+  wopt.max_homolog_divergence = 0.12;
+  wopt.seed = 7;
+
+  Result<sim::PlantedWorkload> wl = sim::BuildPlantedWorkload(copt, wopt);
+  EXPECT_TRUE(wl.ok()) << wl.status().ToString();
+
+  IndexOptions iopt;
+  iopt.interval_length = 8;
+  Result<InvertedIndex> index = IndexBuilder::Build(wl->collection, iopt);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+
+  Fixture f;
+  f.collection = std::move(wl->collection);
+  f.index = std::move(*index);
+  f.queries = std::move(wl->queries);
+  return f;
+}
+
+TEST(SearchTraceTest, CountersIdenticalAcrossThreadCounts) {
+  Fixture f = MakeFixture();
+  PartitionedSearch engine(&f.collection, &f.index);
+
+  std::vector<std::string> queries;
+  for (const sim::PlantedQuery& q : f.queries) queries.push_back(q.sequence);
+
+  std::vector<std::string> reference;  // per-query CountersJson at 1 thread
+  for (uint32_t threads : {1u, 4u}) {
+    SearchOptions options;
+    options.fine_candidates = 20;
+    options.threads = threads;
+    std::vector<obs::SearchTrace> traces;
+    Result<std::vector<SearchResult>> batch =
+        engine.BatchSearchTraced(queries, options, &traces);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(traces.size(), queries.size());
+    std::vector<std::string> jsons;
+    for (const obs::SearchTrace& t : traces) {
+      EXPECT_EQ(t.queries, 1u);
+      jsons.push_back(t.CountersJson());
+    }
+    if (reference.empty()) {
+      reference = std::move(jsons);
+    } else {
+      EXPECT_EQ(jsons, reference) << "trace counters depend on --threads";
+    }
+  }
+}
+
+TEST(SearchTraceTest, CallerTraceIsMergeOfPerQuerySlots) {
+  Fixture f = MakeFixture();
+  PartitionedSearch engine(&f.collection, &f.index);
+  std::vector<std::string> queries;
+  for (const sim::PlantedQuery& q : f.queries) queries.push_back(q.sequence);
+
+  SearchOptions options;
+  options.fine_candidates = 20;
+  std::vector<obs::SearchTrace> traces;
+  obs::SearchTrace total;
+  options.trace = &total;
+  Result<std::vector<SearchResult>> batch =
+      engine.BatchSearchTraced(queries, options, &traces);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  obs::SearchTrace merged;
+  for (const obs::SearchTrace& t : traces) merged.Merge(t);
+  EXPECT_EQ(total.CountersJson(), merged.CountersJson());
+  EXPECT_EQ(total.queries, queries.size());
+}
+
+TEST(SearchTraceTest, TraceMatchesResultStats) {
+  Fixture f = MakeFixture();
+  PartitionedSearch engine(&f.collection, &f.index);
+  SearchOptions options;
+  options.fine_candidates = 20;
+  obs::SearchTrace trace;
+  options.trace = &trace;
+  Result<SearchResult> r = engine.Search(f.queries[0].sequence, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(trace.candidates_aligned, r->stats.candidates_aligned);
+  EXPECT_EQ(trace.cells_computed, r->stats.cells_computed);
+  EXPECT_EQ(trace.hits_reported, r->hits.size());
+  EXPECT_EQ(trace.candidates_kept,
+            trace.candidates_ranked - trace.candidates_discarded);
+  EXPECT_GT(trace.intervals_extracted, 0u);
+  EXPECT_GT(trace.postings_decoded, 0u);
+}
+
+}  // namespace
+}  // namespace cafe

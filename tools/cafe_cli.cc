@@ -11,10 +11,18 @@
 //       [--top 10] [--candidates 100] [--band 48] [--mode diagonal|hitcount]
 //       [--both-strands] [--evalues] [--traceback] [--disk-index]
 //       [--threads N]   (default: one per hardware thread; 1 = sequential)
+//       [--stats[=json]]
+//   cafe_cli batch ...   (search over --query-file; same flags)
+//
+// --stats attaches the observability layer (src/obs/): per-query search
+// traces plus the process metrics registry, as text after the normal
+// output or, with --stats=json, as a single JSON document on stdout
+// (schema in docs/OBSERVABILITY.md).
 //
 // Exit status 0 on success, 1 on any error (message on stderr).
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -29,6 +37,8 @@
 #include "index/interval.h"
 #include "index/index_stats.h"
 #include "index/inverted_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/partitioned.h"
 #include "sim/generator.h"
 #include "util/flags.h"
@@ -46,11 +56,12 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: cafe_cli <generate|build|info|terms|search> [flags]\n"
+      "usage: cafe_cli <generate|build|info|terms|search|batch> [flags]\n"
       "  generate --bases N --out FILE [--seed N] [--wildcards RATE]\n"
-      "  build    (--fasta FILE | --genbank FILE) --collection FILE --index FILE\n"
+      "  build    (--fasta FILE | --genbank FILE) --collection FILE\n"
+      "           --index FILE\n"
       "           [--interval N] [--stride N] [--granularity g] [--stop F]\n"
-      "           [--shards N] [--threads N]\n"
+      "           [--shards N] [--threads N] [--stats[=json]]\n"
       "  info     --collection FILE [--index FILE]\n"
       "  terms    --index FILE [--top N]\n"
       "  search   --collection FILE --index FILE\n"
@@ -58,8 +69,19 @@ int Usage() {
       "           [--candidates N] [--band N] [--mode diagonal|hitcount]\n"
       "           [--both-strands] [--evalues] [--traceback] "
       "[--disk-index]\n"
-      "           [--threads N]  (0 = one per hardware thread)\n");
+      "           [--threads N]  (0 = one per hardware thread)\n"
+      "           [--stats[=json]]  (per-query traces + metrics)\n"
+      "  batch    search over a --query-file (same flags as search)\n");
   return 1;
+}
+
+// --stats parses to "" (off), "text" (bare --stats) or "json".
+Result<std::string> ParseStatsMode(FlagParser& flags) {
+  std::string stats = flags.GetString("stats", "");
+  if (stats.empty()) return std::string();
+  if (stats == "true" || stats == "text") return std::string("text");
+  if (stats == "json") return std::string("json");
+  return Status::InvalidArgument("--stats takes no value, 'text' or 'json'");
 }
 
 Status CmdGenerate(FlagParser& flags) {
@@ -103,7 +125,9 @@ Status CmdBuild(FlagParser& flags) {
   std::string gran = flags.GetString("granularity", "positional");
   uint32_t shards = static_cast<uint32_t>(flags.GetInt("shards", 0));
   int64_t threads_flag = flags.GetInt("threads", 1);
+  Result<std::string> stats_mode = ParseStatsMode(flags);
   CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (!stats_mode.ok()) return stats_mode.status();
   if (threads_flag < 0) {
     return Status::InvalidArgument("--threads must be >= 0");
   }
@@ -129,6 +153,8 @@ Status CmdBuild(FlagParser& flags) {
   Result<SequenceCollection> col = SequenceCollection::FromFasta(records);
   if (!col.ok()) return col.status();
 
+  obs::MetricsRegistry registry;
+  if (!stats_mode->empty()) options.metrics = &registry;
   WallTimer timer;
   Result<InvertedIndex> index =
       shards > 1
@@ -141,6 +167,18 @@ Status CmdBuild(FlagParser& flags) {
   if (!index.ok()) return index.status();
   CAFE_RETURN_IF_ERROR(col->Save(col_path));
   CAFE_RETURN_IF_ERROR(index->Save(idx_path));
+  if (*stats_mode == "json") {
+    // JSON mode: stdout is exactly one document.
+    std::printf("{\"command\":\"build\","
+                "\"collection\":{\"sequences\":%u,\"bases\":%" PRIu64 "},"
+                "\"index\":{\"terms\":%" PRIu64 ",\"postings\":%" PRIu64
+                ",\"bytes\":%" PRIu64 "},"
+                "\"metrics\":%s}\n",
+                col->NumSequences(), col->TotalBases(),
+                index->stats().num_terms, index->stats().total_postings,
+                index->SerializedBytes(), registry.SnapshotJson().c_str());
+    return Status::OK();
+  }
   std::printf(
       "collection: %u sequences, %s bases -> %s\n"
       "index: %s terms, %s postings, built in %.1fs -> %s (%s)\n",
@@ -148,6 +186,9 @@ Status CmdBuild(FlagParser& flags) {
       col_path.c_str(), WithCommas(index->stats().num_terms).c_str(),
       WithCommas(index->stats().total_postings).c_str(), timer.Seconds(),
       idx_path.c_str(), HumanBytes(index->SerializedBytes()).c_str());
+  if (*stats_mode == "text") {
+    std::printf("\nmetrics:\n%s", registry.SnapshotText().c_str());
+  }
   return Status::OK();
 }
 
@@ -218,7 +259,29 @@ Status CmdTerms(FlagParser& flags) {
   return Status::OK();
 }
 
-Status CmdSearch(FlagParser& flags) {
+// Renders one hit as a JSON object (--stats=json output).
+std::string HitJson(const SequenceCollection& col, const SearchHit& h,
+                    bool evalues) {
+  char buf[160];
+  std::string out = "{\"sequence\":\"" + obs::JsonEscape(col.Name(h.seq_id)) +
+                    "\"";
+  std::snprintf(buf, sizeof(buf), ",\"score\":%d,\"coarse\":%.0f",
+                h.score, h.coarse_score);
+  out += buf;
+  out += h.strand == Strand::kForward ? ",\"strand\":\"+\""
+                                      : ",\"strand\":\"-\"";
+  if (evalues) {
+    std::snprintf(buf, sizeof(buf), ",\"bits\":%.2f,\"evalue\":%.3e",
+                  h.bit_score, h.evalue);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+// `batch_mode` is the `batch` subcommand: identical to search but the
+// queries must come from a --query-file.
+Status CmdSearch(FlagParser& flags, bool batch_mode) {
   std::string col_path = flags.GetString("collection", "");
   std::string idx_path = flags.GetString("index", "");
   std::string query = flags.GetString("query", "");
@@ -236,7 +299,10 @@ Status CmdSearch(FlagParser& flags) {
   bool evalues = flags.GetBool("evalues");
   bool use_disk = flags.GetBool("disk-index");
   std::string mode = flags.GetString("mode", "diagonal");
+  Result<std::string> stats_flag = ParseStatsMode(flags);
   CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (!stats_flag.ok()) return stats_flag.status();
+  const std::string& stats_mode = *stats_flag;
   if (threads_flag < 0) {
     return Status::InvalidArgument("--threads must be >= 0");
   }
@@ -244,6 +310,9 @@ Status CmdSearch(FlagParser& flags) {
   if (col_path.empty() || idx_path.empty()) {
     return Status::InvalidArgument(
         "--collection and --index are required");
+  }
+  if (batch_mode && query_file.empty()) {
+    return Status::InvalidArgument("batch requires --query-file");
   }
   if (query.empty() == query_file.empty()) {
     return Status::InvalidArgument(
@@ -258,6 +327,7 @@ Status CmdSearch(FlagParser& flags) {
   Result<SequenceCollection> col = SequenceCollection::Load(col_path);
   if (!col.ok()) return col.status();
 
+  obs::MetricsRegistry registry;
   std::unique_ptr<DiskIndex> disk;
   InvertedIndex mem;
   const PostingSource* source = nullptr;
@@ -265,6 +335,7 @@ Status CmdSearch(FlagParser& flags) {
     Result<std::unique_ptr<DiskIndex>> opened = DiskIndex::Open(idx_path);
     if (!opened.ok()) return opened.status();
     disk = std::move(*opened);
+    if (!stats_mode.empty()) disk->AttachMetrics(&registry);
     source = disk.get();
   } else {
     Result<InvertedIndex> loaded = InvertedIndex::Load(idx_path);
@@ -299,9 +370,43 @@ Status CmdSearch(FlagParser& flags) {
   std::vector<std::string> query_seqs;
   query_seqs.reserve(queries.size());
   for (const auto& [name, q] : queries) query_seqs.push_back(q);
-  Result<std::vector<SearchResult>> batch =
-      engine.BatchSearch(query_seqs, options);
+  std::vector<obs::SearchTrace> traces;
+  Result<std::vector<SearchResult>> batch = engine.BatchSearchTraced(
+      query_seqs, options, stats_mode.empty() ? nullptr : &traces);
   if (!batch.ok()) return batch.status();
+
+  if (stats_mode == "json") {
+    // JSON mode: stdout is exactly one document. Schema in
+    // docs/OBSERVABILITY.md.
+    char buf[96];
+    std::string out = "{\"command\":\"search\",";
+    std::snprintf(buf, sizeof(buf),
+                  "\"collection\":{\"sequences\":%u,\"bases\":%" PRIu64 "},",
+                  col->NumSequences(), col->TotalBases());
+    out += buf;
+    out += "\"queries\":[";
+    obs::SearchTrace total;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const auto& [name, q] = queries[qi];
+      if (qi > 0) out += ",";
+      out += "{\"name\":\"" + obs::JsonEscape(name) + "\"";
+      std::snprintf(buf, sizeof(buf), ",\"bases\":%zu,", q.size());
+      out += buf;
+      out += "\"hits\":[";
+      const std::vector<SearchHit>& hits = (*batch)[qi].hits;
+      for (size_t i = 0; i < hits.size(); ++i) {
+        if (i > 0) out += ",";
+        out += HitJson(*col, hits[i], evalues);
+      }
+      out += "],\"trace\":" + traces[qi].ToJson() + "}";
+      total.Merge(traces[qi]);
+    }
+    out += "],\"trace_total\":" + total.ToJson();
+    out += ",\"metrics\":" + registry.SnapshotJson() + "}";
+    std::printf("%s\n", out.c_str());
+    return Status::OK();
+  }
+
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const auto& [name, q] = queries[qi];
     const SearchResult* result = &(*batch)[qi];
@@ -345,7 +450,14 @@ Status CmdSearch(FlagParser& flags) {
         std::printf("%s", h.alignment.Format(oriented, target).c_str());
       }
     }
+    if (stats_mode == "text") {
+      std::printf("%s", traces[qi].ToText().c_str());
+    }
     std::printf("\n");
+  }
+  if (stats_mode == "text") {
+    std::string text = registry.SnapshotText();
+    if (!text.empty()) std::printf("metrics:\n%s", text.c_str());
   }
   return Status::OK();
 }
@@ -368,7 +480,9 @@ int main(int argc, char** argv) {
   } else if (cmd == "terms") {
     status = CmdTerms(flags);
   } else if (cmd == "search") {
-    status = CmdSearch(flags);
+    status = CmdSearch(flags, /*batch_mode=*/false);
+  } else if (cmd == "batch") {
+    status = CmdSearch(flags, /*batch_mode=*/true);
   } else {
     return Usage();
   }

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Doc/code cross-check for the metric catalogue.
+
+docs/OBSERVABILITY.md claims to document every counter and histogram
+name. This check keeps that true in both directions, grep-style:
+
+  code -> doc   every string literal passed to GetCounter("...") or
+                GetHistogram("...") under src/ and tools/ must appear
+                in docs/OBSERVABILITY.md
+  doc -> code   every metric name in the catalogue tables (rows of the
+                form `| `name` | ...`) must appear as such a literal
+
+Usage: tools/doccheck.py [repo-root]      (exit 0 = consistent)
+"""
+
+import os
+import re
+import sys
+
+GET_RE = re.compile(r'Get(?:Counter|Histogram)\(\s*"([^"]+)"')
+DOC_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+\.[a-z0-9_]+)`\s*\|")
+DOC_PATH = "docs/OBSERVABILITY.md"
+
+
+def code_metric_names(root):
+    names = {}
+    for top in ("src", "tools"):
+        for dirpath, _, files in os.walk(os.path.join(root, top)):
+            for name in sorted(files):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8") as f:
+                    for metric in GET_RE.findall(f.read()):
+                        names.setdefault(metric, os.path.relpath(path, root))
+    return names
+
+
+def doc_metric_names(doc_text):
+    names = set()
+    for line in doc_text.split("\n"):
+        m = DOC_ROW_RE.match(line)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    doc_path = os.path.join(root, DOC_PATH)
+    with open(doc_path, encoding="utf-8") as f:
+        doc_text = f.read()
+
+    in_code = code_metric_names(root)
+    in_doc = doc_metric_names(doc_text)
+    problems = []
+
+    for metric in sorted(in_code):
+        if f"`{metric}`" not in doc_text:
+            problems.append(
+                f"{in_code[metric]}: metric {metric!r} is not documented "
+                f"in {DOC_PATH}")
+    for metric in sorted(in_doc):
+        if metric not in in_code:
+            problems.append(
+                f"{DOC_PATH}: documents {metric!r} but no "
+                f"GetCounter/GetHistogram literal in src/ or tools/ uses it")
+
+    for p in problems:
+        print(p)
+    print(f"doccheck: {len(in_code)} metrics in code, {len(in_doc)} in "
+          f"catalogue, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

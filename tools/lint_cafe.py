@@ -13,11 +13,16 @@ Checks that clang-tidy / compiler warnings cannot express:
                   CAFE_DCHECK from util/check.h (static_assert is fine)
   no-std-thread   std::thread only inside src/util/thread_pool.* — all
                   other code schedules onto ThreadPool
+  no-adhoc-chrono no direct std::chrono in src/search/ or src/index/ —
+                  hot-path timing goes through util/timer.h (WallTimer)
+                  or the obs/ spans, so traces stay consistent
 
 A finding on a line containing `NOLINT(cafe-<rule>)` is suppressed; use
 this only with a comment explaining why the exception is sound.
 
 Usage: tools/lint_cafe.py [repo-root]     (exit 0 = clean, 1 = findings)
+       tools/lint_cafe.py --selftest      (verify every rule fires and
+                                           NOLINT suppresses it)
 """
 
 import os
@@ -29,6 +34,7 @@ RULE_THROW = "cafe-no-throw"
 RULE_NEW = "cafe-no-naked-new"
 RULE_ASSERT = "cafe-no-raw-assert"
 RULE_THREAD = "cafe-no-std-thread"
+RULE_CHRONO = "cafe-no-adhoc-chrono"
 
 THROW_RE = re.compile(r"\bthrow\b")
 # `new X`, `new (nothrow) X`, `new X[...]`; `delete p`, `delete[] p`.
@@ -36,6 +42,7 @@ THROW_RE = re.compile(r"\bthrow\b")
 NEW_RE = re.compile(r"\bnew\b(?!\s*\()|(?<![=\s])\s*\bdelete\b|^\s*delete\b")
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 THREAD_RE = re.compile(r"\bstd::thread\b")
+CHRONO_RE = re.compile(r"\bstd::chrono\b")
 
 
 def strip_code_noise(line):
@@ -76,9 +83,13 @@ def lint_file(root, relpath, findings):
     path = os.path.join(root, relpath)
     with open(path, encoding="utf-8") as f:
         lines = f.read().split("\n")
+    lint_lines(relpath, lines, findings)
 
+
+def lint_lines(relpath, lines, findings):
     is_header = relpath.endswith(".h")
     in_thread_pool = relpath.startswith("src/util/thread_pool.")
+    chrono_scoped = relpath.startswith(("src/search/", "src/index/"))
 
     if is_header:
         want = expected_guard(relpath)
@@ -136,9 +147,65 @@ def lint_file(root, relpath, findings):
             report(RULE_THREAD,
                    "std::thread outside src/util/thread_pool.*; "
                    "use ThreadPool")
+        if CHRONO_RE.search(code) and chrono_scoped:
+            report(RULE_CHRONO,
+                   "ad-hoc std::chrono in search/index code; time with "
+                   "util/timer.h (WallTimer) or obs/ spans")
+
+
+# (file, line, rule that must fire — or None for must-stay-clean).
+# Every rule appears at least once firing and once NOLINT-suppressed, so
+# a regression in either direction fails the selftest.
+SELFTEST_CASES = [
+    ("src/util/foo.h", "#ifndef WRONG_GUARD_H_", RULE_GUARD),
+    ("src/util/foo.h", "#ifndef CAFE_UTIL_FOO_H_", None),
+    ("src/a/b.cc", 'throw std::runtime_error("x");', RULE_THROW),
+    ("src/a/b.cc", "auto* p = new int;", RULE_NEW),
+    ("src/a/b.cc", "delete p;", RULE_NEW),
+    ("src/a/b.cc", "Foo(const Foo&) = delete;", None),
+    ("src/a/b.cc", "assert(x > 0);", RULE_ASSERT),
+    ("src/a/b.cc", "static_assert(sizeof(int) == 4);", None),
+    ("src/a/b.cc", "std::thread t(run);", RULE_THREAD),
+    ("src/util/thread_pool.cc", "std::thread t(run);", None),
+    ("src/search/x.cc", "auto t0 = std::chrono::steady_clock::now();",
+     RULE_CHRONO),
+    ("src/index/x.cc", "std::chrono::milliseconds d(1);", RULE_CHRONO),
+    ("src/util/x.cc", "std::chrono::milliseconds d(1);", None),
+    ("src/search/x.cc", "WallTimer total;", None),
+    ("src/a/b.cc", "// std::thread belongs in thread_pool", None),
+    ("src/a/b.cc", 'const char* s = "std::thread";', None),
+    ("src/a/b.cc", "/* assert(x) */ int y = 0;", None),
+    ("src/a/b.cc", "throw 1;  // NOLINT(cafe-no-throw)", None),
+    ("src/a/b.cc", "auto* p = new int;  // NOLINT(cafe-no-naked-new)",
+     None),
+    ("src/a/b.cc", "assert(x);  // NOLINT(cafe-no-raw-assert)", None),
+    ("src/a/b.cc", "std::thread t;  // NOLINT(cafe-no-std-thread)", None),
+    ("src/search/x.cc",
+     "std::chrono::seconds s(1);  // NOLINT(cafe-no-adhoc-chrono)", None),
+]
+
+
+def selftest():
+    failures = []
+    for i, (relpath, line, want_rule) in enumerate(SELFTEST_CASES):
+        findings = []
+        lint_lines(relpath, [line], findings)
+        rules = [f[2] for f in findings]
+        if want_rule is None and rules:
+            failures.append(f"case {i} ({line!r}): unexpected {rules}")
+        elif want_rule is not None and want_rule not in rules:
+            failures.append(
+                f"case {i} ({line!r}): expected {want_rule}, got {rules}")
+    for failure in failures:
+        print(f"selftest: {failure}")
+    print(f"lint_cafe --selftest: {len(SELFTEST_CASES)} cases, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
 
 
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--selftest":
+        return selftest()
     root = sys.argv[1] if len(sys.argv) > 1 else "."
     targets = []
     for dirpath, _, names in os.walk(os.path.join(root, "src")):
