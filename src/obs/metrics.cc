@@ -29,6 +29,31 @@ void Histogram::Record(uint64_t value) {
   }
 }
 
+uint64_t Histogram::Snapshot::ApproxPercentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile, 1-based; q = 0 means the first
+  // sample, q = 1 the last.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i).
+      uint64_t upper = i == 0  ? 0
+                       : i >= 64 ? UINT64_MAX
+                                 : (uint64_t{1} << i) - 1;
+      if (upper > max) upper = max;
+      if (upper < min) upper = min;
+      return upper;
+    }
+  }
+  return max;
+}
+
 Histogram::Snapshot Histogram::Snap() const {
   Snapshot snap;
   snap.count = count_.load(std::memory_order_relaxed);

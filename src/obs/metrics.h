@@ -84,6 +84,13 @@ class Histogram {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) / static_cast<double>(count);
     }
+
+    /// Approximate value at quantile q in [0, 1]: the upper edge of the
+    /// first bucket whose cumulative count reaches q·count, clamped to
+    /// the observed [min, max]. Log-scale buckets make this exact only
+    /// to within a factor of two — good enough for the latency
+    /// percentiles cafe_loadgen reports. Returns 0 when empty.
+    uint64_t ApproxPercentile(double q) const;
   };
   Snapshot Snap() const;
 

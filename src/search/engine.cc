@@ -59,7 +59,12 @@ Result<std::vector<SearchResult>> SearchEngine::BatchSearch(
 
 Result<std::vector<SearchResult>> SearchEngine::BatchSearchTraced(
     const std::vector<std::string>& queries, const SearchOptions& options,
-    std::vector<obs::SearchTrace>* traces) {
+    std::vector<obs::SearchTrace>* traces,
+    const std::vector<Deadline>* deadlines) {
+  if (deadlines != nullptr && deadlines->size() != queries.size()) {
+    return Status::InvalidArgument(
+        "BatchSearchTraced: deadlines must match queries in size");
+  }
   std::vector<SearchResult> results(queries.size());
   // Each query records into its own slot so concurrent queries never
   // share a trace; options.trace receives the input-order merge at the
@@ -80,6 +85,7 @@ Result<std::vector<SearchResult>> SearchEngine::BatchSearchTraced(
     SearchOptions per_query = options;
     for (size_t i = 0; i < queries.size(); ++i) {
       per_query.trace = tracing ? &(*slots)[i] : nullptr;
+      if (deadlines != nullptr) per_query.deadline = &(*deadlines)[i];
       Result<SearchResult> r =
           SearchWithStrands(this, queries[i], per_query);
       if (!r.ok()) return r.status();
@@ -99,6 +105,7 @@ Result<std::vector<SearchResult>> SearchEngine::BatchSearchTraced(
     pool.ParallelFor(queries.size(), [&](size_t i, unsigned /*worker*/) {
       SearchOptions query_options = per_query;
       query_options.trace = tracing ? &(*slots)[i] : nullptr;
+      if (deadlines != nullptr) query_options.deadline = &(*deadlines)[i];
       Result<SearchResult> r =
           SearchWithStrands(this, queries[i], query_options);
       if (r.ok()) {
@@ -140,6 +147,7 @@ Result<SearchResult> SearchWithStrands(SearchEngine* engine,
   merged.hits = top.Take();
   merged.stats = forward->stats;
   merged.stats.Accumulate(reverse->stats);
+  merged.truncated = forward->truncated || reverse->truncated;
   return merged;
 }
 

@@ -19,6 +19,7 @@
 #include "align/scoring.h"
 #include "align/statistics.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace cafe {
@@ -94,6 +95,16 @@ struct SearchOptions {
   /// count. Null (the default) costs one branch per guarded site.
   obs::SearchTrace* trace = nullptr;
 
+  /// When non-null, the engine polls this deadline at phase boundaries
+  /// (and, in the partitioned fine phase, between candidates) and stops
+  /// early: the call still succeeds, but the result carries whatever
+  /// hits were complete when the deadline fired and
+  /// SearchResult::truncated is set. The pointer must stay valid for
+  /// the duration of the call. Engines without deadline support simply
+  /// run to completion. Which hits survive a truncation is timing-
+  /// dependent — determinism holds only for untruncated results.
+  const Deadline* deadline = nullptr;
+
   ScoringScheme scoring;
 };
 
@@ -135,6 +146,9 @@ struct SearchStats {
 struct SearchResult {
   std::vector<SearchHit> hits;  // sorted by descending score
   SearchStats stats;
+  /// True when SearchOptions::deadline expired before the search
+  /// finished: `hits` is a partial (possibly empty) answer.
+  bool truncated = false;
 };
 
 class SearchEngine {
@@ -172,9 +186,15 @@ class SearchEngine {
   /// recorded into private structs even when queries run concurrently,
   /// then options.trace (if set) additionally receives their merge in
   /// input order — so batch totals are identical at every thread count.
+  ///
+  /// `deadlines`, when non-null, must hold one Deadline per query; query
+  /// i runs with options.deadline pointing at (*deadlines)[i] (the
+  /// serving layer's per-request deadlines, which differ within one
+  /// coalesced batch). Null keeps options.deadline for every query.
   Result<std::vector<SearchResult>> BatchSearchTraced(
       const std::vector<std::string>& queries, const SearchOptions& options,
-      std::vector<obs::SearchTrace>* traces);
+      std::vector<obs::SearchTrace>* traces,
+      const std::vector<Deadline>* deadlines = nullptr);
 };
 
 /// Evaluates the query through `engine`, and — when

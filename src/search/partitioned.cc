@@ -22,6 +22,8 @@ struct FineWorker {
   TopHits top;
   std::string seq;
   uint64_t aligned = 0;
+  // Set when the deadline fired before this worker's share was done.
+  bool truncated = false;
   // Lowest candidate index that failed, mirroring the sequential path's
   // fail-on-first-error behaviour deterministically.
   size_t error_index = SIZE_MAX;
@@ -33,6 +35,14 @@ void AlignCandidate(const SequenceCollection& collection,
                     const CoarseCandidate& cand, size_t index,
                     FineWorker* w) {
   if (w->error_index != SIZE_MAX && index > w->error_index) return;
+  // Deadline poll between candidates: one clock read (~ns) against an
+  // alignment (~µs+), so the fine phase stops within one candidate of
+  // the deadline instead of finishing the whole budget.
+  if (options.deadline != nullptr &&
+      (w->truncated || options.deadline->Expired())) {
+    w->truncated = true;
+    return;
+  }
   Status s = collection.GetSequence(cand.doc, &w->seq);
   if (!s.ok()) {
     if (index < w->error_index) {
@@ -72,10 +82,27 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
   if (trace != nullptr) ++trace->queries;
   SearchResult result;
 
+  // Deadline poll at entry: a request that spent its whole budget
+  // queued (or on the forward strand) returns immediately.
+  if (options.deadline != nullptr && options.deadline->Expired()) {
+    result.truncated = true;
+    result.stats.total_seconds += total.Seconds();
+    return result;
+  }
+
   // Coarse phase: rank by interval evidence, keep the fine-search budget.
   std::vector<CoarseCandidate> candidates = ranker_.Rank(
       query, options.coarse_mode, options.fine_candidates,
       options.frame_width, &result.stats, trace);
+
+  // Phase boundary: when the deadline fired during the coarse phase,
+  // skip fine alignment entirely rather than starting work we cannot
+  // finish. The per-candidate polls inside the fine loop handle a
+  // deadline that fires mid-phase.
+  if (options.deadline != nullptr && options.deadline->Expired()) {
+    result.truncated = true;
+    candidates.clear();
+  }
 
   // Fine phase: local alignment on the candidates only. Each candidate
   // is independent, so with threads > 1 the candidates are spread over a
@@ -100,6 +127,7 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
     result.hits = w.top.Take();
     result.stats.candidates_aligned += w.aligned;
     result.stats.cells_computed += w.aligner.cells_computed();
+    result.truncated = result.truncated || w.truncated;
   } else {
     std::vector<FineWorker> states;
     states.reserve(workers);
@@ -124,6 +152,7 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
       for (SearchHit& hit : w.top.Take()) top.Add(std::move(hit));
       result.stats.candidates_aligned += w.aligned;
       result.stats.cells_computed += w.aligner.cells_computed();
+      result.truncated = result.truncated || w.truncated;
     }
     result.hits = top.Take();
   }
@@ -135,12 +164,13 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
 
   // Post-processing on the reported hits (at most max_results of them)
   // stays sequential: it is cheap, and keeping it single-threaded keeps
-  // the output trivially deterministic.
+  // the output trivially deterministic. A truncated result skips it —
+  // the contract after a deadline is "return what you have, fast".
   obs::TraceSpan post_span(trace != nullptr ? &trace->post_micros
                                             : nullptr);
   Aligner post_aligner(options.scoring);
   std::string seq;
-  if (options.rescore_full) {
+  if (options.rescore_full && !result.truncated) {
     // Remove band clipping from the reported scores: one full DP per
     // reported hit (cheap — max_results sequences, not the collection).
     for (SearchHit& hit : result.hits) {
@@ -154,7 +184,7 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
               });
   }
 
-  if (options.traceback) {
+  if (options.traceback && !result.truncated) {
     for (SearchHit& hit : result.hits) {
       CAFE_RETURN_IF_ERROR(collection_->GetSequence(hit.seq_id, &seq));
       // Re-derive the candidate diagonal for a banded traceback; fall

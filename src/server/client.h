@@ -1,0 +1,60 @@
+// Blocking client for the cafe_serve wire protocol.
+//
+// One Client is one TCP connection; the protocol is strictly
+// request/response, so a Client must not be shared between threads
+// without external serialization (cafe_loadgen gives each client
+// thread its own Client). Server-side failures — including
+// kOverloaded rejections from admission control — come back as the
+// Status inside the SearchResponse, not as a transport error.
+
+#ifndef CAFE_SERVER_CLIENT_H_
+#define CAFE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace cafe::server {
+
+class Client {
+ public:
+  /// Connects to `host`:`port` (numeric IPv4 only) and consumes the
+  /// server's Hello frame. Fails with IOError when the connect or the
+  /// handshake fails.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+
+  ~Client();  // closes the connection
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// The version string the server announced in its Hello frame.
+  const std::string& server_version() const { return server_version_; }
+
+  /// Sends one search and blocks for the response. A transport or
+  /// framing failure poisons the connection; a server-side failure
+  /// (bad query, overload) arrives in `response->status` with the
+  /// connection still usable.
+  [[nodiscard]] Status Search(const SearchRequest& request,
+                              SearchResponse* response);
+
+  /// Fetches the server's stats document (the --stats=json schema).
+  [[nodiscard]] Status Stats(std::string* json);
+
+  /// Closes the connection; later Search/Stats calls fail. Idempotent.
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string server_version_;
+};
+
+}  // namespace cafe::server
+
+#endif  // CAFE_SERVER_CLIENT_H_

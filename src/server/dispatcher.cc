@@ -1,0 +1,191 @@
+#include "server/dispatcher.h"
+
+#include <algorithm>
+
+namespace cafe::server {
+
+Dispatcher::Dispatcher(SearchEngine* engine,
+                       const DispatcherOptions& options)
+    : engine_(engine), options_(options) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    accepted_ = m->GetCounter("server.requests_accepted");
+    rejected_ = m->GetCounter("server.requests_rejected");
+    deadline_exceeded_ = m->GetCounter("server.deadline_exceeded");
+    batches_ = m->GetCounter("server.batches_dispatched");
+    queue_depth_ = m->GetHistogram("server.queue_depth");
+    batch_size_ = m->GetHistogram("server.batch_size");
+    queue_wait_micros_ = m->GetHistogram("server.queue_wait_micros");
+    search_micros_ = m->GetHistogram("server.search_micros");
+    request_micros_ = m->GetHistogram("server.request_micros");
+  }
+  const uint32_t workers = std::max<uint32_t>(options_.workers, 1);
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Dispatcher::~Dispatcher() { Stop(); }
+
+Result<SearchResult> Dispatcher::Execute(const SearchRequest& request) {
+  auto pending = std::make_shared<Pending>();
+  pending->query = request.query;
+  pending->options = request.ToSearchOptions();
+  pending->options.threads = options_.search_threads;
+  if (request.deadline_millis > 0) {
+    pending->deadline = Deadline::AfterMillis(request.deadline_millis);
+  }
+  pending->key = request.OptionsKey();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (rejected_ != nullptr) rejected_->Increment();
+      return Status::Overloaded("server is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      if (rejected_ != nullptr) rejected_->Increment();
+      return Status::Overloaded("request queue is full (" +
+                                std::to_string(options_.max_queue) + ")");
+    }
+    queue_.push_back(pending);
+    if (accepted_ != nullptr) accepted_->Increment();
+    if (queue_depth_ != nullptr) queue_depth_->Record(queue_.size());
+    work_cv_.notify_one();
+    done_cv_.wait(lock, [&] { return pending->done; });
+  }
+  if (request_micros_ != nullptr) {
+    request_micros_->Record(
+        static_cast<uint64_t>(pending->admitted.Micros()));
+  }
+  if (!pending->status.ok()) return pending->status;
+  return std::move(pending->result);
+}
+
+void Dispatcher::Stop() {
+  // Serializes concurrent Stop() calls (say, Server::Shutdown racing
+  // the destructor) so only one of them joins the workers.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+size_t Dispatcher::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Dispatcher::WorkerLoop() {
+  while (true) {
+    std::vector<std::shared_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and fully drained
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+      // Coalesce: sweep the queue front-to-back for requests that can
+      // share this BatchSearch call (same options key), preserving
+      // arrival order among those taken.
+      const std::string& key = batch.front()->key;
+      for (auto it = queue_.begin();
+           it != queue_.end() && batch.size() < options_.max_batch;) {
+        if ((*it)->key == key) {
+          batch.push_back(*it);
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    RunBatch(std::move(batch));
+  }
+}
+
+void Dispatcher::RunBatch(std::vector<std::shared_ptr<Pending>> batch) {
+  if (batches_ != nullptr) batches_->Increment();
+  if (batch_size_ != nullptr) batch_size_->Record(batch.size());
+  if (queue_wait_micros_ != nullptr) {
+    for (const auto& p : batch) {
+      queue_wait_micros_->Record(
+          static_cast<uint64_t>(p->admitted.Micros()));
+    }
+  }
+
+  // Requests whose whole budget was spent queueing complete here as
+  // truncated empties — paying for an alignment the client has already
+  // given up on only deepens an overload.
+  std::vector<std::shared_ptr<Pending>> live;
+  live.reserve(batch.size());
+  for (auto& p : batch) {
+    if (p->deadline.Expired()) {
+      SearchResult expired;
+      expired.truncated = true;
+      Complete(p, Status::OK(), std::move(expired));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<std::string> queries;
+  std::vector<Deadline> deadlines;
+  queries.reserve(live.size());
+  deadlines.reserve(live.size());
+  for (const auto& p : live) {
+    queries.push_back(p->query);
+    deadlines.push_back(p->deadline);
+  }
+
+  WallTimer search_timer;
+  Result<std::vector<SearchResult>> results = engine_->BatchSearchTraced(
+      queries, live.front()->options, /*traces=*/nullptr, &deadlines);
+  if (search_micros_ != nullptr) {
+    search_micros_->Record(static_cast<uint64_t>(search_timer.Micros()));
+  }
+
+  if (results.ok()) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      Complete(live[i], Status::OK(), std::move((*results)[i]));
+    }
+    return;
+  }
+  // The batch failed on its first bad query; re-run the members one at
+  // a time so each request gets its own verdict instead of a shared
+  // error (one malformed query must not fail its batch-mates).
+  for (const auto& p : live) {
+    SearchOptions options = p->options;
+    options.deadline = p->deadline.has_deadline() ? &p->deadline : nullptr;
+    Result<SearchResult> one =
+        SearchWithStrands(engine_, p->query, options);
+    if (one.ok()) {
+      Complete(p, Status::OK(), std::move(*one));
+    } else {
+      Complete(p, one.status(), SearchResult());
+    }
+  }
+}
+
+void Dispatcher::Complete(const std::shared_ptr<Pending>& p, Status status,
+                          SearchResult result) {
+  if (result.truncated && deadline_exceeded_ != nullptr) {
+    deadline_exceeded_->Increment();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    p->status = std::move(status);
+    p->result = std::move(result);
+    p->done = true;
+  }
+  done_cv_.notify_all();
+}
+
+}  // namespace cafe::server

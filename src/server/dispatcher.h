@@ -1,0 +1,125 @@
+// Request dispatcher: the bridge between connection threads and the
+// search engine.
+//
+// Connection handlers block in Execute(); a small pool of dispatcher
+// workers drains the shared queue, coalescing concurrently-arriving
+// requests with compatible options into one
+// SearchEngine::BatchSearchTraced call — the engine's heavy-traffic
+// shape — while each request keeps its own deadline.
+//
+// Admission control is a hard bound on queue depth: when the queue is
+// full (or the dispatcher is stopping) Execute returns
+// Status::Overloaded immediately instead of queueing unboundedly, so
+// overload degrades into fast, explicit rejections. Requests whose
+// deadline expires while still queued complete as truncated empty
+// results without ever reaching the engine.
+//
+// Stop() is a graceful drain: new requests are rejected, every already
+// admitted request still completes, then the workers exit. The
+// destructor calls Stop().
+
+#ifndef CAFE_SERVER_DISPATCHER_H_
+#define CAFE_SERVER_DISPATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "search/engine.h"
+#include "server/protocol.h"
+#include "util/deadline.h"
+#include "util/timer.h"
+
+namespace cafe::server {
+
+struct DispatcherOptions {
+  /// Dispatcher worker threads — concurrent BatchSearch calls.
+  uint32_t workers = 2;
+  /// Admission bound: requests queued (not yet dispatched) beyond this
+  /// are rejected with kOverloaded.
+  uint32_t max_queue = 256;
+  /// At most this many compatible requests coalesce into one batch.
+  uint32_t max_batch = 8;
+  /// SearchOptions::threads for each query inside a batch. 1 (the
+  /// default) keeps each query sequential — parallelism comes from
+  /// batching and the worker pool, which composes safely with
+  /// BatchSearch's own fan-out rules.
+  uint32_t search_threads = 1;
+  /// When non-null, the dispatcher records the server.* metrics here
+  /// (catalogue in docs/OBSERVABILITY.md).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class Dispatcher {
+ public:
+  /// Starts the worker threads. `engine` must outlive the dispatcher.
+  Dispatcher(SearchEngine* engine, const DispatcherOptions& options);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Admits `request`, blocks until it completes, and returns its
+  /// result. Thread-safe; called from connection threads. Fails fast
+  /// with Status::Overloaded when the queue is full or the dispatcher
+  /// is stopping. A result with `truncated` set means the request's
+  /// deadline fired first.
+  Result<SearchResult> Execute(const SearchRequest& request);
+
+  /// Rejects new work, drains everything already admitted, joins the
+  /// workers. Idempotent.
+  void Stop();
+
+  /// Queued-but-not-yet-dispatched requests right now.
+  size_t QueueDepth() const;
+
+ private:
+  struct Pending {
+    std::string query;
+    SearchOptions options;  // deadline handled separately, see below
+    Deadline deadline;
+    std::string key;        // OptionsKey() of the originating request
+    WallTimer admitted;     // queue-wait + end-to-end latency clock
+    SearchResult result;
+    Status status;
+    bool done = false;
+  };
+
+  void WorkerLoop();
+  /// Runs one coalesced batch outside the lock and completes each
+  /// request. `batch` is non-empty and shares one options key.
+  void RunBatch(std::vector<std::shared_ptr<Pending>> batch);
+  void Complete(const std::shared_ptr<Pending>& p, Status status,
+                SearchResult result);
+
+  SearchEngine* const engine_;
+  const DispatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for queue/stop
+  std::condition_variable done_cv_;  // Execute waits for completion
+  std::deque<std::shared_ptr<Pending>> queue_;
+  bool stopping_ = false;
+  std::mutex stop_mu_;  // serializes Stop() callers around the joins
+  std::vector<std::thread> workers_;
+
+  // Resolved once at construction; null when metrics are detached.
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
+  obs::Histogram* queue_wait_micros_ = nullptr;
+  obs::Histogram* search_micros_ = nullptr;
+  obs::Histogram* request_micros_ = nullptr;
+};
+
+}  // namespace cafe::server
+
+#endif  // CAFE_SERVER_DISPATCHER_H_

@@ -1,0 +1,126 @@
+// Wire protocol for the cafe_serve query daemon.
+//
+// Frames are length-prefixed binary with a fixed 16-byte header:
+//
+//   u32 magic    "CAFE" (0x45464143 little-endian)
+//   u16 version  kProtocolVersion — mismatches are rejected on read
+//   u16 type     FrameType
+//   u32 size     payload bytes that follow (<= kMaxPayloadBytes)
+//   u32 crc      CRC-32 of the payload (util/crc32.h)
+//
+// All integers are little-endian. Every byte off the wire is untrusted:
+// decoders bound-check and return Status (never CAFE_CHECK, per the
+// correctness-tooling policy) so a malicious or corrupt peer can only
+// produce an error, not a crash. A header-level problem (bad magic,
+// version skew, oversized length, CRC mismatch) poisons the stream and
+// the connection should be closed; a payload-level decode error is
+// answerable with an in-band error response.
+//
+// On connect the server speaks first with a kHello frame carrying its
+// software version (util/version.h), so clients can log what they
+// talked to; the protocol version rides in every frame header.
+
+#ifndef CAFE_SERVER_PROTOCOL_H_
+#define CAFE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "search/engine.h"
+#include "util/status.h"
+
+namespace cafe::server {
+
+inline constexpr uint32_t kFrameMagic = 0x45464143u;  // "CAFE"
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// Upper bound on a frame payload. Anything larger is Corruption —
+/// a length prefix must never make the reader allocate unboundedly.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 26;  // 64 MiB
+
+enum class FrameType : uint16_t {
+  kHello = 1,          // server -> client, once, on connect
+  kSearchRequest = 2,  // client -> server
+  kSearchResponse = 3, // server -> client
+  kStatsRequest = 4,   // client -> server (empty payload)
+  kStatsResponse = 5,  // server -> client (JSON document)
+  kError = 6,          // server -> client (unknown frame type)
+};
+
+struct Hello {
+  std::string server_version;  // cafe::kVersionString of the server
+};
+
+/// The SearchOptions subset that travels on the wire, plus the query.
+/// Everything a remote caller may choose; server-side knobs (threads,
+/// traces, statistics calibration) stay server-side.
+struct SearchRequest {
+  uint32_t max_results = 10;
+  uint32_t fine_candidates = 100;
+  int32_t band = 48;
+  uint32_t frame_width = 16;
+  int32_t min_score = 1;
+  bool diagonal_mode = true;  // false = CoarseRankMode::kHitCount
+  bool both_strands = false;
+  bool rescore_full = false;
+  /// Per-request deadline in milliseconds, measured from admission;
+  /// 0 = no deadline.
+  uint32_t deadline_millis = 0;
+  std::string query;  // normalized IUPAC nucleotides
+
+  /// The engine-side options these wire fields select (deadline and
+  /// server-side knobs left at their defaults).
+  SearchOptions ToSearchOptions() const;
+
+  /// Batching compatibility key: requests with equal keys may share one
+  /// BatchSearch call (everything except the query and the deadline,
+  /// which stay per-request).
+  std::string OptionsKey() const;
+};
+
+struct SearchResponse {
+  /// Status::Code of the server-side evaluation, kOk on success.
+  Status status;
+  /// True when the request's deadline fired: hits are partial.
+  bool truncated = false;
+  /// seq_id / score / coarse_score / strand are filled; alignment and
+  /// statistics fields do not travel.
+  std::vector<SearchHit> hits;
+};
+
+// --- Payload codecs -------------------------------------------------
+
+std::string EncodeHello(const Hello& hello);
+[[nodiscard]] Status DecodeHello(std::string_view payload, Hello* out);
+
+std::string EncodeSearchRequest(const SearchRequest& request);
+[[nodiscard]] Status DecodeSearchRequest(std::string_view payload,
+                                         SearchRequest* out);
+
+std::string EncodeSearchResponse(const SearchResponse& response);
+[[nodiscard]] Status DecodeSearchResponse(std::string_view payload,
+                                          SearchResponse* out);
+
+/// Status <-> wire code. Unknown wire codes decode to kInternal rather
+/// than failing, so a newer peer's codes degrade gracefully.
+uint8_t StatusCodeToWire(const Status& status);
+Status StatusFromWire(uint8_t code, std::string message);
+
+// --- Framed socket I/O (blocking, EINTR-safe) -----------------------
+
+/// Writes one complete frame to `fd`.
+[[nodiscard]] Status WriteFrame(int fd, FrameType type,
+                                std::string_view payload);
+
+/// Reads one complete frame. Clean EOF before any header byte returns
+/// NotFound (the peer hung up between frames); everything else that is
+/// short or inconsistent is IOError/Corruption.
+[[nodiscard]] Status ReadFrame(int fd, FrameType* type,
+                               std::string* payload);
+
+}  // namespace cafe::server
+
+#endif  // CAFE_SERVER_PROTOCOL_H_

@@ -28,6 +28,9 @@ std::string Status::ToString() const {
     case Code::kInternal:
       label = "Internal";
       break;
+    case Code::kOverloaded:
+      label = "Overloaded";
+      break;
   }
   std::string out = label;
   if (!message_.empty()) {

@@ -26,6 +26,9 @@ class [[nodiscard]] Status {
     kNotSupported,
     kOutOfRange,
     kInternal,
+    /// The server refused the request to protect itself (admission
+    /// control): the queue is full or it is shutting down. Retriable.
+    kOverloaded,
   };
 
   /// Default-constructed Status is success.
@@ -53,6 +56,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(Code::kOverloaded, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -65,6 +71,7 @@ class [[nodiscard]] Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   /// Human-readable rendering, e.g. "Corruption: bad checksum".
   std::string ToString() const;

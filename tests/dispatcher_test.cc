@@ -1,0 +1,280 @@
+// Dispatcher semantics: request batching, admission control, queue-
+// expired deadlines, and graceful drain — all against a stub engine
+// whose Search can be held closed so the queue fills deterministically.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/dispatcher.h"
+
+namespace cafe::server {
+namespace {
+
+// Blocks callers until opened; lets tests hold the dispatcher's worker
+// inside the engine while more requests pile up behind it.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// Concurrent-safe engine that waits on a gate, counts entries, and
+// echoes the query length back as the hit score.
+class StubEngine : public SearchEngine {
+ public:
+  explicit StubEngine(Gate* gate = nullptr) : gate_(gate) {}
+
+  std::string name() const override { return "stub"; }
+  bool SupportsConcurrentSearch() const override { return true; }
+
+  Result<SearchResult> Search(std::string_view query,
+                              const SearchOptions& options) override {
+    entered_.fetch_add(1);
+    if (gate_ != nullptr) gate_->Wait();
+    SearchResult result;
+    if (options.deadline != nullptr && options.deadline->Expired()) {
+      result.truncated = true;
+      return result;
+    }
+    SearchHit hit;
+    hit.seq_id = static_cast<uint32_t>(query.size());
+    hit.score = static_cast<int>(query.size());
+    result.hits.push_back(hit);
+    return result;
+  }
+
+  int entered() const { return entered_.load(); }
+
+ private:
+  Gate* gate_;
+  std::atomic<int> entered_{0};
+};
+
+// Polls until `pred` holds (the cross-thread assertions here have no
+// completion signal to wait on; 5s is far beyond any healthy run).
+template <typename Pred>
+void WaitUntil(Pred pred) {
+  for (int i = 0; i < 5000 && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+SearchRequest Req(const std::string& query) {
+  SearchRequest r;
+  r.query = query;
+  return r;
+}
+
+uint64_t CounterValue(obs::MetricsRegistry* m, const std::string& name) {
+  return m->GetCounter(name)->Value();
+}
+
+TEST(DispatcherTest, ExecuteReturnsEngineResult) {
+  StubEngine engine;
+  DispatcherOptions options;
+  Dispatcher dispatcher(&engine, options);
+  Result<SearchResult> result = dispatcher.Execute(Req("ACGTACGT"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->hits.size(), 1u);
+  EXPECT_EQ(result->hits[0].score, 8);
+  EXPECT_FALSE(result->truncated);
+}
+
+TEST(DispatcherTest, CoalescesCompatibleRequests) {
+  Gate gate;
+  StubEngine engine(&gate);
+  obs::MetricsRegistry metrics;
+  DispatcherOptions options;
+  options.workers = 1;
+  options.max_batch = 8;
+  options.metrics = &metrics;
+  Dispatcher dispatcher(&engine, options);
+
+  // First request occupies the single worker inside the gated engine...
+  std::vector<std::thread> threads;
+  threads.emplace_back(
+      [&] { EXPECT_TRUE(dispatcher.Execute(Req("AAAA")).ok()); });
+  WaitUntil([&] { return engine.entered() == 1; });
+
+  // ...so these three stack up in the queue and must leave as ONE batch.
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back(
+        [&] { EXPECT_TRUE(dispatcher.Execute(Req("CCCCC")).ok()); });
+  }
+  WaitUntil([&] { return dispatcher.QueueDepth() == 3; });
+  gate.Open();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(CounterValue(&metrics, "server.requests_accepted"), 4u);
+  EXPECT_EQ(CounterValue(&metrics, "server.batches_dispatched"), 2u);
+  EXPECT_EQ(CounterValue(&metrics, "server.requests_rejected"), 0u);
+}
+
+TEST(DispatcherTest, IncompatibleOptionsDoNotShareABatch) {
+  Gate gate;
+  StubEngine engine(&gate);
+  obs::MetricsRegistry metrics;
+  DispatcherOptions options;
+  options.workers = 1;
+  options.metrics = &metrics;
+  Dispatcher dispatcher(&engine, options);
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(
+      [&] { EXPECT_TRUE(dispatcher.Execute(Req("AAAA")).ok()); });
+  WaitUntil([&] { return engine.entered() == 1; });
+
+  SearchRequest narrow = Req("CCCCC");
+  narrow.max_results = 3;  // different options key than the default
+  threads.emplace_back(
+      [&] { EXPECT_TRUE(dispatcher.Execute(Req("GGGGG")).ok()); });
+  threads.emplace_back(
+      [&] { EXPECT_TRUE(dispatcher.Execute(narrow).ok()); });
+  WaitUntil([&] { return dispatcher.QueueDepth() == 2; });
+  gate.Open();
+  for (std::thread& t : threads) t.join();
+
+  // Blocker alone, then the two incompatible requests one each.
+  EXPECT_EQ(CounterValue(&metrics, "server.batches_dispatched"), 3u);
+}
+
+TEST(DispatcherTest, FullQueueRejectsWithOverloaded) {
+  Gate gate;
+  StubEngine engine(&gate);
+  obs::MetricsRegistry metrics;
+  DispatcherOptions options;
+  options.workers = 1;
+  options.max_queue = 1;
+  options.metrics = &metrics;
+  Dispatcher dispatcher(&engine, options);
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(
+      [&] { EXPECT_TRUE(dispatcher.Execute(Req("AAAA")).ok()); });
+  WaitUntil([&] { return engine.entered() == 1; });
+  threads.emplace_back(
+      [&] { EXPECT_TRUE(dispatcher.Execute(Req("CCCC")).ok()); });
+  WaitUntil([&] { return dispatcher.QueueDepth() == 1; });
+
+  // Queue is at max_queue: this must return immediately (the gate is
+  // still closed — if it queued, it would hang here).
+  Result<SearchResult> rejected = dispatcher.Execute(Req("GGGG"));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsOverloaded())
+      << rejected.status().ToString();
+  EXPECT_EQ(CounterValue(&metrics, "server.requests_rejected"), 1u);
+
+  gate.Open();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(CounterValue(&metrics, "server.requests_accepted"), 2u);
+}
+
+TEST(DispatcherTest, QueueExpiredDeadlineCompletesWithoutEngineCall) {
+  Gate gate;
+  StubEngine engine(&gate);
+  obs::MetricsRegistry metrics;
+  DispatcherOptions options;
+  options.workers = 1;
+  options.metrics = &metrics;
+  Dispatcher dispatcher(&engine, options);
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(
+      [&] { EXPECT_TRUE(dispatcher.Execute(Req("AAAA")).ok()); });
+  WaitUntil([&] { return engine.entered() == 1; });
+
+  SearchRequest doomed = Req("CCCC");
+  doomed.deadline_millis = 1;
+  Result<SearchResult> result = Status::Internal("not yet completed");
+  threads.emplace_back([&] { result = dispatcher.Execute(doomed); });
+  WaitUntil([&] { return dispatcher.QueueDepth() == 1; });
+  // Let the queued request's 1ms budget expire before the worker frees.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->truncated);
+  EXPECT_TRUE(result->hits.empty());
+  // Only the blocker reached the engine.
+  EXPECT_EQ(engine.entered(), 1);
+  EXPECT_EQ(CounterValue(&metrics, "server.deadline_exceeded"), 1u);
+}
+
+TEST(DispatcherTest, StopDrainsAdmittedRequests) {
+  Gate gate;
+  StubEngine engine(&gate);
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(&engine, options);
+
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    EXPECT_TRUE(dispatcher.Execute(Req("AAAA")).ok());
+    completed.fetch_add(1);
+  });
+  WaitUntil([&] { return engine.entered() == 1; });
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      EXPECT_TRUE(dispatcher.Execute(Req("CCCC")).ok());
+      completed.fetch_add(1);
+    });
+  }
+  WaitUntil([&] { return dispatcher.QueueDepth() == 3; });
+
+  std::thread stopper([&] { gate.Open(); dispatcher.Stop(); });
+  for (std::thread& t : threads) t.join();
+  stopper.join();
+
+  // Stop() returned only after every admitted request completed.
+  EXPECT_EQ(completed.load(), 4);
+  EXPECT_EQ(dispatcher.QueueDepth(), 0u);
+}
+
+TEST(DispatcherTest, ExecuteAfterStopIsOverloaded) {
+  StubEngine engine;
+  DispatcherOptions options;
+  Dispatcher dispatcher(&engine, options);
+  dispatcher.Stop();
+  Result<SearchResult> result = dispatcher.Execute(Req("ACGT"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOverloaded());
+}
+
+TEST(DispatcherTest, StopIsIdempotentAndSafeConcurrently) {
+  StubEngine engine;
+  DispatcherOptions options;
+  Dispatcher dispatcher(&engine, options);
+  std::thread a([&] { dispatcher.Stop(); });
+  std::thread b([&] { dispatcher.Stop(); });
+  a.join();
+  b.join();
+  dispatcher.Stop();  // and again, after the workers are gone
+}
+
+}  // namespace
+}  // namespace cafe::server

@@ -275,5 +275,43 @@ TEST(SearchTraceTest, TraceMatchesResultStats) {
   EXPECT_GT(trace.postings_decoded, 0u);
 }
 
+TEST(HistogramTest, ApproxPercentileTracksDistribution) {
+  obs::Histogram h;
+  // 100 samples of 10 and 100 samples of 1000: the median sits in the
+  // low cluster, the upper tail in the high cluster.
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  obs::Histogram::Snapshot snap = h.Snap();
+
+  uint64_t p25 = snap.ApproxPercentile(0.25);
+  uint64_t p99 = snap.ApproxPercentile(0.99);
+  // Log-scale buckets are exact only to a factor of two, and the
+  // estimate clamps to the observed range.
+  EXPECT_GE(p25, 10u);
+  EXPECT_LT(p25, 20u);
+  EXPECT_GT(p99, 500u);
+  EXPECT_LE(p99, 1000u);
+  // q=0 lands in the low bucket (upper edge 15, floored at min=10);
+  // q=1 is clamped to the observed max.
+  uint64_t p0 = snap.ApproxPercentile(0.0);
+  EXPECT_GE(p0, 10u);
+  EXPECT_LE(p0, 15u);
+  EXPECT_EQ(snap.ApproxPercentile(1.0), 1000u);
+}
+
+TEST(HistogramTest, ApproxPercentileEdgeCases) {
+  obs::Histogram empty;
+  EXPECT_EQ(empty.Snap().ApproxPercentile(0.5), 0u);
+
+  obs::Histogram zeros;
+  zeros.Record(0);
+  zeros.Record(0);
+  EXPECT_EQ(zeros.Snap().ApproxPercentile(0.99), 0u);
+
+  obs::Histogram one;
+  one.Record(7);
+  EXPECT_EQ(one.Snap().ApproxPercentile(0.5), 7u);
+}
+
 }  // namespace
 }  // namespace cafe

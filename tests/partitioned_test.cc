@@ -227,5 +227,85 @@ TEST(PartitionedSearchTest, MinScoreFilters) {
   EXPECT_TRUE(r->hits.empty());
 }
 
+TEST(PartitionedSearchTest, ExpiredDeadlineReturnsTruncatedFast) {
+  Fixture f = MakeFixture(IndexGranularity::kPositional);
+  PartitionedSearch engine(&f.collection, &f.index);
+  SearchOptions options;
+  // A deadline that has already fired: the search must still succeed,
+  // but with the truncated flag and no work beyond the entry check.
+  Deadline expired = Deadline::AfterSeconds(-1.0);
+  options.deadline = &expired;
+  Result<SearchResult> r = engine.Search(f.queries[0].sequence, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->truncated);
+  EXPECT_TRUE(r->hits.empty());
+  EXPECT_EQ(r->stats.candidates_aligned, 0u);
+}
+
+TEST(PartitionedSearchTest, InfiniteDeadlineDoesNotTruncate) {
+  Fixture f = MakeFixture(IndexGranularity::kPositional);
+  PartitionedSearch engine(&f.collection, &f.index);
+
+  SearchOptions plain;
+  Result<SearchResult> reference =
+      engine.Search(f.queries[0].sequence, plain);
+  ASSERT_TRUE(reference.ok());
+
+  SearchOptions with_deadline;
+  Deadline infinite = Deadline::Infinite();
+  with_deadline.deadline = &infinite;
+  Result<SearchResult> r =
+      engine.Search(f.queries[0].sequence, with_deadline);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->truncated);
+  // A deadline that never fires must not change the answer.
+  ASSERT_EQ(r->hits.size(), reference->hits.size());
+  for (size_t h = 0; h < r->hits.size(); ++h) {
+    EXPECT_EQ(r->hits[h].seq_id, reference->hits[h].seq_id);
+    EXPECT_EQ(r->hits[h].score, reference->hits[h].score);
+  }
+}
+
+TEST(PartitionedSearchTest, TruncatedResultsStaySorted) {
+  Fixture f = MakeFixture(IndexGranularity::kPositional);
+  PartitionedSearch engine(&f.collection, &f.index);
+  SearchOptions options;
+  options.search_both_strands = true;
+  Deadline expired = Deadline::AfterSeconds(-1.0);
+  options.deadline = &expired;
+  // Both strand passes truncate; the merged result keeps the flag.
+  Result<SearchResult> r =
+      SearchWithStrands(&engine, f.queries[0].sequence, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->truncated);
+}
+
+TEST(PartitionedSearchTest, BatchPerQueryDeadlines) {
+  Fixture f = MakeFixture(IndexGranularity::kPositional);
+  PartitionedSearch engine(&f.collection, &f.index);
+  SearchOptions options;
+
+  std::vector<std::string> queries = {f.queries[0].sequence,
+                                      f.queries[1].sequence};
+  // One live query and one whose budget is already gone: only the
+  // latter truncates.
+  std::vector<Deadline> deadlines = {Deadline::Infinite(),
+                                     Deadline::AfterSeconds(-1.0)};
+  Result<std::vector<SearchResult>> batch = engine.BatchSearchTraced(
+      queries, options, /*traces=*/nullptr, &deadlines);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_FALSE((*batch)[0].truncated);
+  EXPECT_FALSE((*batch)[0].hits.empty());
+  EXPECT_TRUE((*batch)[1].truncated);
+
+  // A deadline list of the wrong length is an InvalidArgument.
+  deadlines.pop_back();
+  Result<std::vector<SearchResult>> bad = engine.BatchSearchTraced(
+      queries, options, /*traces=*/nullptr, &deadlines);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace cafe

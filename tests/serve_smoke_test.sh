@@ -1,0 +1,95 @@
+#!/bin/sh
+# End-to-end smoke test of the serving stack: build a small index,
+# start cafe_serve on an ephemeral port, drive it with cafe_loadgen
+# (4 concurrent clients), fetch the stats document, then SIGTERM the
+# server and require a clean (exit 0) graceful shutdown.
+# Run by ctest as: serve_smoke_test.sh <cafe_cli> <cafe_serve> <cafe_loadgen>
+set -eu
+
+CLI="${1:?usage: serve_smoke_test.sh <cafe_cli> <cafe_serve> <cafe_loadgen>}"
+SERVE="${2:?missing cafe_serve path}"
+LOADGEN="${3:?missing cafe_loadgen path}"
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/cafe_serve_test.XXXXXX")"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2> /dev/null; then
+    kill -KILL "$SERVER_PID" 2> /dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$SERVE" --version | grep -q "cafe_serve"
+"$LOADGEN" --version | grep -q "cafe_loadgen"
+"$CLI" --version | grep -q "cafe_cli"
+
+"$CLI" generate --bases 100000 --out "$DIR/db.fa" --seed 5 > /dev/null
+"$CLI" build --fasta "$DIR/db.fa" --collection "$DIR/db.col" \
+    --index "$DIR/db.idx" --interval 8 > /dev/null
+
+"$SERVE" --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --port 0 --port-file "$DIR/port" --workers 2 \
+    > "$DIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the server to publish its ephemeral port.
+tries=0
+while [ ! -s "$DIR/port" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "server never wrote its port file" >&2
+    cat "$DIR/server.log" >&2
+    exit 1
+  fi
+  if ! kill -0 "$SERVER_PID" 2> /dev/null; then
+    echo "server exited before listening" >&2
+    cat "$DIR/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT="$(cat "$DIR/port")"
+
+# Closed-loop run: 4 clients, queries excised from the collection itself
+# so the searches produce real hits.
+"$LOADGEN" --port "$PORT" --query-file "$DIR/db.fa" \
+    --clients 4 --requests 8 > "$DIR/loadgen.log"
+grep -q "32 responses" "$DIR/loadgen.log"
+grep -q "errors 0" "$DIR/loadgen.log"
+
+# And an open-loop paced run with a generous deadline; the stats
+# snapshot afterwards covers both runs.
+"$LOADGEN" --port "$PORT" --query-file "$DIR/db.fa" \
+    --clients 2 --requests 4 --rate 50 --deadline-ms 10000 \
+    --stats-out "$DIR/stats.json" > "$DIR/loadgen2.log"
+grep -q "errors 0" "$DIR/loadgen2.log"
+
+# The stats document is valid JSON in the --stats=json schema family and
+# carries the server.* metrics.
+grep -q '"command":"stats"' "$DIR/stats.json"
+grep -q 'server.requests_accepted' "$DIR/stats.json"
+grep -q 'server.batch_size' "$DIR/stats.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$DIR/stats.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["command"] == "stats", doc
+assert "version" in doc["server"], doc
+accepted = doc["metrics"]["counters"]["server.requests_accepted"]
+assert accepted >= 40, accepted  # 32 + 8 requests across the two runs
+EOF
+fi
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+rc=0
+wait "$SERVER_PID" || rc=$?
+SERVER_PID=""
+if [ "$rc" -ne 0 ]; then
+  echo "server exited with status $rc after SIGTERM" >&2
+  cat "$DIR/server.log" >&2
+  exit 1
+fi
+grep -q "shutting down" "$DIR/server.log"
+
+echo "serve_smoke_test OK"

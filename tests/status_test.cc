@@ -112,5 +112,15 @@ TEST(StatusTest, ReturnIfErrorMacro) {
   EXPECT_EQ(s.message(), "inner");
 }
 
+TEST(StatusTest, OverloadedCode) {
+  Status s = Status::Overloaded("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsOverloaded());
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_EQ(s.message(), "queue full");
+  EXPECT_NE(s.ToString().find("Overloaded"), std::string::npos);
+  EXPECT_FALSE(Status::OK().IsOverloaded());
+}
+
 }  // namespace
 }  // namespace cafe

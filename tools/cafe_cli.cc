@@ -44,6 +44,7 @@
 #include "util/flags.h"
 #include "util/stringutil.h"
 #include "util/timer.h"
+#include "util/version.h"
 
 namespace cafe {
 namespace {
@@ -71,7 +72,8 @@ int Usage() {
       "[--disk-index]\n"
       "           [--threads N]  (0 = one per hardware thread)\n"
       "           [--stats[=json]]  (per-query traces + metrics)\n"
-      "  batch    search over a --query-file (same flags as search)\n");
+      "  batch    search over a --query-file (same flags as search)\n"
+      "  --version  print the build version and exit\n");
   return 1;
 }
 
@@ -469,6 +471,10 @@ int main(int argc, char** argv) {
   using namespace cafe;
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+  if (cmd == "--version" || cmd == "version") {
+    std::printf("cafe_cli %s (git %s)\n", kVersionString, kGitRevision);
+    return 0;
+  }
   FlagParser flags(argc - 1, argv + 1);
   Status status;
   if (cmd == "generate") {

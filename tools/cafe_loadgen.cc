@@ -1,0 +1,237 @@
+// cafe_loadgen — load generator and latency reporter for cafe_serve.
+//
+//   cafe_loadgen --port N [--host 127.0.0.1]
+//       (--query-file q.fa | [--queries N] [--query-bases N] [--seed N])
+//       [--clients N] [--requests N] [--duration SECONDS]
+//       [--rate PER_CLIENT_QPS]   (open loop; default closed loop)
+//       [--deadline-ms N] [--top N] [--candidates N] [--both-strands]
+//       [--stats-out FILE]
+//   cafe_loadgen --version
+//
+// Each client thread opens its own connection and cycles through the
+// query set. Closed loop (default) sends the next request as soon as
+// the previous response lands; --rate paces each client at a fixed
+// request interval instead, so queueing at the server shows up as
+// latency rather than as back-pressure. Reports throughput plus
+// mean/p50/p90/p99/max end-to-end latency, and the ok / overloaded /
+// truncated / error split. --stats-out fetches the server's stats
+// document (the --stats=json schema) after the run.
+//
+// Exit status 0 when every request got a response (overloaded and
+// truncated count as responses), 1 otherwise.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "collection/collection.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "util/version.h"
+
+namespace cafe {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+struct LoadOptions {
+  std::string host;
+  uint16_t port = 0;
+  uint32_t clients = 4;
+  uint64_t requests = 64;  // per client; 0 = until --duration
+  double duration = 0.0;   // seconds; 0 = until --requests
+  double rate = 0.0;       // per-client target qps; 0 = closed loop
+  server::SearchRequest request_template;
+};
+
+struct ClientStats {
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;
+  uint64_t truncated = 0;
+  uint64_t errors = 0;
+};
+
+// One client thread: own connection, own slice of the query set.
+void RunClient(const LoadOptions& opt,
+               const std::vector<std::string>& queries, uint32_t id,
+               obs::Histogram* latency_micros, ClientStats* stats) {
+  Result<std::unique_ptr<server::Client>> client =
+      server::Client::Connect(opt.host, opt.port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "client %u: %s\n", id,
+                 client.status().ToString().c_str());
+    stats->errors += 1;
+    return;
+  }
+
+  WallTimer run_timer;
+  const double interval = opt.rate > 0.0 ? 1.0 / opt.rate : 0.0;
+  for (uint64_t i = 0; opt.requests == 0 || i < opt.requests; ++i) {
+    if (opt.duration > 0.0 && run_timer.Seconds() >= opt.duration) break;
+    if (interval > 0.0) {
+      // Open loop: wait for this request's scheduled send time. Sleeping
+      // keeps the pacing independent of how long responses take.
+      double ahead = static_cast<double>(i) * interval - run_timer.Seconds();
+      if (ahead > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(ahead));
+      }
+    }
+    server::SearchRequest request = opt.request_template;
+    request.query = queries[(id + i * opt.clients) % queries.size()];
+
+    WallTimer timer;
+    server::SearchResponse response;
+    Status s = (*client)->Search(request, &response);
+    latency_micros->Record(static_cast<uint64_t>(timer.Micros()));
+    if (!s.ok()) {
+      stats->errors += 1;
+      std::fprintf(stderr, "client %u: %s\n", id, s.ToString().c_str());
+      return;  // transport failure poisons the connection
+    }
+    if (response.status.IsOverloaded()) {
+      stats->overloaded += 1;
+    } else if (!response.status.ok()) {
+      stats->errors += 1;
+    } else if (response.truncated) {
+      stats->truncated += 1;
+    } else {
+      stats->ok += 1;
+    }
+  }
+}
+
+Status Run(FlagParser& flags) {
+  LoadOptions opt;
+  opt.host = flags.GetString("host", "127.0.0.1");
+  opt.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  opt.clients = static_cast<uint32_t>(flags.GetInt("clients", 4));
+  opt.requests = static_cast<uint64_t>(flags.GetInt("requests", 64));
+  opt.duration = flags.GetDouble("duration", 0.0);
+  opt.rate = flags.GetDouble("rate", 0.0);
+  opt.request_template.deadline_millis =
+      static_cast<uint64_t>(flags.GetInt("deadline-ms", 0));
+  opt.request_template.max_results =
+      static_cast<uint32_t>(flags.GetInt("top", 10));
+  opt.request_template.fine_candidates =
+      static_cast<uint32_t>(flags.GetInt("candidates", 100));
+  opt.request_template.both_strands = flags.GetBool("both-strands");
+  std::string query_file = flags.GetString("query-file", "");
+  uint32_t num_queries = static_cast<uint32_t>(flags.GetInt("queries", 16));
+  uint32_t query_bases =
+      static_cast<uint32_t>(flags.GetInt("query-bases", 200));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::string stats_out = flags.GetString("stats-out", "");
+  CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (opt.port == 0) return Status::InvalidArgument("--port is required");
+  if (opt.clients == 0) {
+    return Status::InvalidArgument("--clients must be >= 1");
+  }
+  if (opt.requests == 0 && opt.duration <= 0.0) {
+    return Status::InvalidArgument(
+        "one of --requests / --duration must be set");
+  }
+
+  std::vector<std::string> queries;
+  if (!query_file.empty()) {
+    std::vector<FastaRecord> records;
+    CAFE_RETURN_IF_ERROR(ReadFastaFile(query_file, &records));
+    for (FastaRecord& rec : records) {
+      queries.push_back(std::move(rec.sequence));
+    }
+    if (queries.empty()) {
+      return Status::InvalidArgument("no sequences in " + query_file);
+    }
+  } else {
+    // Uniform random queries: they exercise the full coarse path (every
+    // interval gets looked up) even if few reach a reportable score.
+    Rng rng(seed);
+    static const char kBases[] = "ACGT";
+    for (uint32_t i = 0; i < num_queries; ++i) {
+      std::string q;
+      q.reserve(query_bases);
+      for (uint32_t j = 0; j < query_bases; ++j) {
+        q.push_back(kBases[rng.Uniform(4)]);
+      }
+      queries.push_back(std::move(q));
+    }
+  }
+
+  obs::Histogram latency;
+  std::vector<ClientStats> stats(opt.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(opt.clients);
+  WallTimer wall;
+  for (uint32_t c = 0; c < opt.clients; ++c) {
+    threads.emplace_back(
+        [&, c] { RunClient(opt, queries, c, &latency, &stats[c]); });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = wall.Seconds();
+
+  ClientStats total;
+  for (const ClientStats& s : stats) {
+    total.ok += s.ok;
+    total.overloaded += s.overloaded;
+    total.truncated += s.truncated;
+    total.errors += s.errors;
+  }
+  const uint64_t responses = total.ok + total.overloaded + total.truncated;
+  obs::Histogram::Snapshot snap = latency.Snap();
+  std::printf(
+      "%llu responses in %.2fs (%.1f req/s, %u clients)\n"
+      "  ok %llu, overloaded %llu, truncated %llu, errors %llu\n"
+      "  latency mean %.2fms p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms\n",
+      static_cast<unsigned long long>(responses), elapsed,
+      elapsed > 0.0 ? static_cast<double>(responses) / elapsed : 0.0,
+      opt.clients, static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.overloaded),
+      static_cast<unsigned long long>(total.truncated),
+      static_cast<unsigned long long>(total.errors), snap.Mean() / 1e3,
+      static_cast<double>(snap.ApproxPercentile(0.50)) / 1e3,
+      static_cast<double>(snap.ApproxPercentile(0.90)) / 1e3,
+      static_cast<double>(snap.ApproxPercentile(0.99)) / 1e3,
+      static_cast<double>(snap.max) / 1e3);
+
+  if (!stats_out.empty()) {
+    Result<std::unique_ptr<server::Client>> client =
+        server::Client::Connect(opt.host, opt.port);
+    if (!client.ok()) return client.status();
+    std::string json;
+    CAFE_RETURN_IF_ERROR((*client)->Stats(&json));
+    FILE* f = std::fopen(stats_out.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IOError("cannot write --stats-out " + stats_out);
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+
+  if (total.errors > 0) return Status::Internal("some requests failed");
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace cafe
+
+int main(int argc, char** argv) {
+  using namespace cafe;
+  if (argc >= 2 && std::string(argv[1]) == "--version") {
+    std::printf("cafe_loadgen %s (protocol %u)\n", kVersionString,
+                server::kProtocolVersion);
+    return 0;
+  }
+  FlagParser flags(argc, argv);
+  Status status = Run(flags);
+  return status.ok() ? 0 : Fail(status);
+}

@@ -1,0 +1,138 @@
+// cafe_serve — long-running query server over a prebuilt index.
+//
+//   cafe_serve --collection db.col --index db.idx
+//       [--host 127.0.0.1] [--port 0] [--port-file FILE]
+//       [--workers N] [--queue N] [--batch N] [--search-threads N]
+//       [--disk-index]
+//   cafe_serve --version
+//
+// Speaks the length-prefixed binary protocol in src/server/protocol.h;
+// cafe_loadgen and the Client library are the reference peers. With
+// --port 0 the kernel picks the port; --port-file writes the resolved
+// port for scripts to discover. SIGINT/SIGTERM trigger a graceful
+// drain: in-flight requests complete, then the process exits 0.
+//
+// Exit status 0 on clean shutdown, 1 on any startup error.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "collection/collection.h"
+#include "index/disk_index.h"
+#include "index/inverted_index.h"
+#include "search/partitioned.h"
+#include "server/server.h"
+#include "util/flags.h"
+#include "util/version.h"
+
+namespace cafe {
+namespace {
+
+// Signal handlers may only touch lock-free state; the main thread polls
+// this flag from its pause() loop and runs the actual shutdown.
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int /*signum*/) { g_stop = 1; }
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cafe_serve --collection FILE --index FILE\n"
+      "           [--host ADDR] [--port N] [--port-file FILE]\n"
+      "           [--workers N] [--queue N] [--batch N]\n"
+      "           [--search-threads N] [--disk-index]\n"
+      "       cafe_serve --version\n");
+  return 1;
+}
+
+Status Run(FlagParser& flags) {
+  std::string col_path = flags.GetString("collection", "");
+  std::string idx_path = flags.GetString("index", "");
+  std::string port_file = flags.GetString("port-file", "");
+  bool use_disk = flags.GetBool("disk-index");
+  server::ServerOptions options;
+  options.bind_address = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  options.dispatcher.workers =
+      static_cast<uint32_t>(flags.GetInt("workers", 2));
+  options.dispatcher.max_queue =
+      static_cast<uint32_t>(flags.GetInt("queue", 256));
+  options.dispatcher.max_batch =
+      static_cast<uint32_t>(flags.GetInt("batch", 8));
+  options.dispatcher.search_threads =
+      static_cast<uint32_t>(flags.GetInt("search-threads", 1));
+  CAFE_RETURN_IF_ERROR(flags.Finish());
+  if (col_path.empty() || idx_path.empty()) {
+    return Status::InvalidArgument("--collection and --index are required");
+  }
+
+  Result<SequenceCollection> col = SequenceCollection::Load(col_path);
+  if (!col.ok()) return col.status();
+  std::unique_ptr<DiskIndex> disk;
+  InvertedIndex mem;
+  const PostingSource* source = nullptr;
+  if (use_disk) {
+    Result<std::unique_ptr<DiskIndex>> opened = DiskIndex::Open(idx_path);
+    if (!opened.ok()) return opened.status();
+    disk = std::move(*opened);
+    source = disk.get();
+  } else {
+    Result<InvertedIndex> loaded = InvertedIndex::Load(idx_path);
+    if (!loaded.ok()) return loaded.status();
+    mem = std::move(*loaded);
+    source = &mem;
+  }
+  PartitionedSearch engine(&*col, source);
+
+  server::Server server(&engine, options);
+  CAFE_RETURN_IF_ERROR(server.Start());
+  std::printf("cafe_serve %s listening on %s:%u (%u sequences)\n",
+              kVersionString, options.bind_address.c_str(), server.port(),
+              col->NumSequences());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IOError("cannot write --port-file " + port_file);
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) pause();  // signals interrupt pause()
+
+  std::printf("shutting down (draining in-flight requests)\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace cafe
+
+int main(int argc, char** argv) {
+  using namespace cafe;
+  if (argc >= 2 && std::string(argv[1]) == "--version") {
+    std::printf("cafe_serve %s (protocol %u)\n", kVersionString,
+                server::kProtocolVersion);
+    return 0;
+  }
+  FlagParser flags(argc, argv);
+  Status status = Run(flags);
+  if (status.IsInvalidArgument()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return Usage();
+  }
+  return status.ok() ? 0 : Fail(status);
+}

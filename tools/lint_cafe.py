@@ -11,11 +11,16 @@ Checks that clang-tidy / compiler warnings cannot express:
                   goes through smart pointers and containers
   no-raw-assert   no raw assert() under src/ — use CAFE_CHECK /
                   CAFE_DCHECK from util/check.h (static_assert is fine)
-  no-std-thread   std::thread only inside src/util/thread_pool.* — all
-                  other code schedules onto ThreadPool
+  no-std-thread   std::thread only inside src/util/thread_pool.* and
+                  src/server/ (the serving layer owns blocking accept /
+                  connection threads) — all other code schedules onto
+                  ThreadPool
   no-adhoc-chrono no direct std::chrono in src/search/ or src/index/ —
                   hot-path timing goes through util/timer.h (WallTimer)
                   or the obs/ spans, so traces stay consistent
+  no-raw-socket   socket headers (sys/socket.h, netinet/*, arpa/inet.h,
+                  netdb.h) only under src/server/ — the network edge
+                  stays in one subsystem
 
 A finding on a line containing `NOLINT(cafe-<rule>)` is suppressed; use
 this only with a comment explaining why the exception is sound.
@@ -35,6 +40,7 @@ RULE_NEW = "cafe-no-naked-new"
 RULE_ASSERT = "cafe-no-raw-assert"
 RULE_THREAD = "cafe-no-std-thread"
 RULE_CHRONO = "cafe-no-adhoc-chrono"
+RULE_SOCKET = "cafe-no-raw-socket"
 
 THROW_RE = re.compile(r"\bthrow\b")
 # `new X`, `new (nothrow) X`, `new X[...]`; `delete p`, `delete[] p`.
@@ -43,6 +49,7 @@ NEW_RE = re.compile(r"\bnew\b(?!\s*\()|(?<![=\s])\s*\bdelete\b|^\s*delete\b")
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 THREAD_RE = re.compile(r"\bstd::thread\b")
 CHRONO_RE = re.compile(r"\bstd::chrono\b")
+SOCKET_RE = re.compile(r"#\s*include\s*<(sys/socket|netinet/|arpa/inet|netdb)")
 
 
 def strip_code_noise(line):
@@ -88,7 +95,9 @@ def lint_file(root, relpath, findings):
 
 def lint_lines(relpath, lines, findings):
     is_header = relpath.endswith(".h")
-    in_thread_pool = relpath.startswith("src/util/thread_pool.")
+    thread_ok = relpath.startswith(("src/util/thread_pool.",
+                                    "src/server/"))
+    socket_ok = relpath.startswith("src/server/")
     chrono_scoped = relpath.startswith(("src/search/", "src/index/"))
 
     if is_header:
@@ -143,14 +152,18 @@ def lint_lines(relpath, lines, findings):
             report(RULE_ASSERT,
                    "raw assert(); use CAFE_CHECK / CAFE_DCHECK "
                    "(util/check.h)")
-        if THREAD_RE.search(code) and not in_thread_pool:
+        if THREAD_RE.search(code) and not thread_ok:
             report(RULE_THREAD,
-                   "std::thread outside src/util/thread_pool.*; "
-                   "use ThreadPool")
+                   "std::thread outside src/util/thread_pool.* or "
+                   "src/server/; use ThreadPool")
         if CHRONO_RE.search(code) and chrono_scoped:
             report(RULE_CHRONO,
                    "ad-hoc std::chrono in search/index code; time with "
                    "util/timer.h (WallTimer) or obs/ spans")
+        if SOCKET_RE.search(code) and not socket_ok:
+            report(RULE_SOCKET,
+                   "socket headers outside src/server/; the network "
+                   "edge lives in the server subsystem")
 
 
 # (file, line, rule that must fire — or None for must-stay-clean).
@@ -167,6 +180,15 @@ SELFTEST_CASES = [
     ("src/a/b.cc", "static_assert(sizeof(int) == 4);", None),
     ("src/a/b.cc", "std::thread t(run);", RULE_THREAD),
     ("src/util/thread_pool.cc", "std::thread t(run);", None),
+    ("src/server/server.cc", "std::thread t(run);", None),
+    ("src/a/b.cc", "#include <sys/socket.h>", RULE_SOCKET),
+    ("src/a/b.cc", "#include <netinet/in.h>", RULE_SOCKET),
+    ("src/a/b.cc", "#include <arpa/inet.h>", RULE_SOCKET),
+    ("src/a/b.cc", "#include <netdb.h>", RULE_SOCKET),
+    ("src/server/server.cc", "#include <sys/socket.h>", None),
+    ("src/server/client.cc", "#include <arpa/inet.h>", None),
+    ("src/a/b.cc", "#include <netinet/in.h>  "
+     "// NOLINT(cafe-no-raw-socket)", None),
     ("src/search/x.cc", "auto t0 = std::chrono::steady_clock::now();",
      RULE_CHRONO),
     ("src/index/x.cc", "std::chrono::milliseconds d(1);", RULE_CHRONO),
