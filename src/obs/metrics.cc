@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
 #include <cstdio>
@@ -54,6 +55,33 @@ uint64_t Histogram::Snapshot::ApproxPercentile(double q) const {
   return max;
 }
 
+Histogram::Snapshot Histogram::Snapshot::DeltaFrom(
+    const Snapshot& baseline) const {
+  Snapshot delta;
+  delta.count = count - std::min(baseline.count, count);
+  delta.sum = sum - std::min(baseline.sum, sum);
+  size_t lowest = kBuckets, highest = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    const uint64_t base = std::min(baseline.buckets[i], buckets[i]);
+    delta.buckets[i] = buckets[i] - base;
+    if (delta.buckets[i] > 0) {
+      if (lowest == kBuckets) lowest = i;
+      highest = i;
+    }
+  }
+  if (delta.count > 0 && lowest < kBuckets) {
+    // Bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i).
+    delta.min = lowest == 0 ? 0 : uint64_t{1} << (lowest - 1);
+    delta.max = highest == 0    ? 0
+                : highest >= 64 ? UINT64_MAX
+                                : (uint64_t{1} << highest) - 1;
+    // The cumulative extremes still bound the interval's samples.
+    if (min > delta.min) delta.min = min;
+    if (max < delta.max) delta.max = max;
+  }
+  return delta;
+}
+
 Histogram::Snapshot Histogram::Snap() const {
   Snapshot snap;
   snap.count = count_.load(std::memory_order_relaxed);
@@ -104,7 +132,7 @@ std::string MetricsRegistry::SnapshotText() const {
 std::string MetricsRegistry::SnapshotJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
-  char buf[128];
+  char buf[320];  // one histogram header line incl. percentiles
   bool first = true;
   for (const auto& [name, counter] : counters_) {
     if (!first) out += ",";
@@ -122,8 +150,11 @@ std::string MetricsRegistry::SnapshotJson() const {
     std::snprintf(buf, sizeof(buf),
                   "\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
                   ",\"min\":%" PRIu64 ",\"max\":%" PRIu64
-                  ",\"mean\":%.3f,\"buckets\":{",
-                  name.c_str(), s.count, s.sum, s.min, s.max, s.Mean());
+                  ",\"mean\":%.3f,\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+                  ",\"p99\":%" PRIu64 ",\"buckets\":{",
+                  name.c_str(), s.count, s.sum, s.min, s.max, s.Mean(),
+                  s.ApproxPercentile(0.50), s.ApproxPercentile(0.90),
+                  s.ApproxPercentile(0.99));
     out += buf;
     bool first_bucket = true;
     for (size_t i = 0; i < Histogram::kBuckets; ++i) {
@@ -136,6 +167,91 @@ std::string MetricsRegistry::SnapshotJson() const {
     out += "}}";
   }
   out += "}}";
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotData() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snap();
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& current,
+                                       const MetricsSnapshot& baseline) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : current.counters) {
+    auto it = baseline.counters.find(name);
+    const uint64_t base = it == baseline.counters.end() ? 0 : it->second;
+    delta.counters[name] = value - std::min(base, value);
+  }
+  for (const auto& [name, snap] : current.histograms) {
+    auto it = baseline.histograms.find(name);
+    delta.histograms[name] = it == baseline.histograms.end()
+                                 ? snap
+                                 : snap.DeltaFrom(it->second);
+  }
+  return delta;
+}
+
+namespace {
+
+// disk_index.cache_hits -> cafe_disk_index_cache_hits; characters a
+// Prometheus metric name cannot hold become underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "cafe_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name) + "_total";
+    std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %" PRIu64 "\n",
+                  prom.c_str(), prom.c_str(), counter->Value());
+    out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    const Histogram::Snapshot s = histogram->Snap();
+    std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", prom.c_str());
+    out += line;
+    // Bucket i of the log-scale histogram holds values whose bit width
+    // is i, so its inclusive upper bound is 2^i - 1 — a valid `le`
+    // edge. Cumulative counts; empty buckets are elided (Prometheus
+    // allows sparse edges), +Inf always present.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;
+      cumulative += s.buckets[i];
+      const uint64_t edge =
+          i == 0 ? 0 : i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1;
+      std::snprintf(line, sizeof(line),
+                    "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                    prom.c_str(), edge, cumulative);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n%s_sum %" PRIu64
+                  "\n%s_count %" PRIu64 "\n",
+                  prom.c_str(), s.count, prom.c_str(), s.sum, prom.c_str(),
+                  s.count);
+    out += line;
+  }
   return out;
 }
 

@@ -91,6 +91,15 @@ class Histogram {
     /// to within a factor of two — good enough for the latency
     /// percentiles cafe_loadgen reports. Returns 0 when empty.
     uint64_t ApproxPercentile(double q) const;
+
+    /// This snapshot minus `baseline` (an earlier snapshot of the same
+    /// histogram): interval count/sum/buckets. Exact min/max are not
+    /// recoverable from two cumulative snapshots, so the delta's
+    /// min/max are the bucket edges spanning the interval's samples —
+    /// within the same factor-of-two bound as ApproxPercentile, which
+    /// stays meaningful on the result. The windowed-rates primitive
+    /// behind MetricsRegistry::Delta.
+    Snapshot DeltaFrom(const Snapshot& baseline) const;
   };
   Snapshot Snap() const;
 
@@ -100,6 +109,15 @@ class Histogram {
   std::atomic<uint64_t> min_{UINT64_MAX};
   std::atomic<uint64_t> max_{0};
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// A point-in-time copy of every metric in a registry — the value type
+/// behind windowed rates: snapshot now, snapshot later, Delta() the
+/// two, and the result holds per-interval counts and histogram
+/// percentiles instead of since-startup cumulatives.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, Histogram::Snapshot> histograms;
 };
 
 /// Name -> metric registry. Names are dotted paths
@@ -119,10 +137,32 @@ class MetricsRegistry {
 
   /// {"counters": {name: value, …},
   ///  "histograms": {name: {"count":…, "sum":…, "min":…, "max":…,
-  ///                        "mean":…, "buckets": {"<bit width>": n}}}}
-  /// Keys are sorted (std::map), so equal metric states produce
-  /// byte-identical documents.
+  ///                        "mean":…, "p50":…, "p90":…, "p99":…,
+  ///                        "buckets": {"<bit width>": n}}}}
+  /// Percentiles are Histogram::Snapshot::ApproxPercentile — the same
+  /// numbers cafe_loadgen prints. Keys are sorted (std::map), so equal
+  /// metric states produce byte-identical documents.
   std::string SnapshotJson() const;
+
+  /// Structured copy of every metric, for windowed diffing via Delta.
+  MetricsSnapshot SnapshotData() const;
+
+  /// Per-metric `current - baseline`: counter differences and
+  /// Histogram::Snapshot::DeltaFrom for histograms. Metrics absent
+  /// from `baseline` (registered mid-window) diff against zero. This
+  /// is how cafe_serve's stats thread turns cumulative metrics into
+  /// per-interval rates and interval percentiles.
+  static MetricsSnapshot Delta(const MetricsSnapshot& current,
+                               const MetricsSnapshot& baseline);
+
+  /// Prometheus text exposition (version 0.0.4) of every metric.
+  /// Dotted names map to `cafe_` + dots replaced by underscores;
+  /// counters gain the conventional `_total` suffix; histograms export
+  /// as native Prometheus histograms whose `le` edges are the
+  /// log-scale bucket upper bounds (2^i - 1). The name catalogue is
+  /// documented in docs/OBSERVABILITY.md and cross-checked by
+  /// tools/doccheck.py; the format is validated by tools/promcheck.py.
+  std::string SnapshotPrometheus() const;
 
  private:
   mutable std::mutex mu_;  // guards the maps, never the metric updates

@@ -5,7 +5,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -16,7 +18,28 @@ Status Errno(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
 }
 
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
+
+uint64_t Client::MintTraceId() {
+  // Seeded once per process from the wall clock; each mint advances a
+  // counter through splitmix64, so ids are unique within the process
+  // and overwhelmingly unlikely to collide across processes.
+  static const uint64_t base = SplitMix64(static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count()));
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = 0;
+  while (id == 0) {  // 0 means "no trace id" on the wire
+    id = SplitMix64(base ^ counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
 
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
                                                 uint16_t port) {
@@ -65,8 +88,10 @@ void Client::Close() {
 Status Client::Search(const SearchRequest& request,
                       SearchResponse* response) {
   if (fd_ < 0) return Status::IOError("client is closed");
+  SearchRequest outbound = request;
+  if (outbound.trace_id == 0) outbound.trace_id = MintTraceId();
   CAFE_RETURN_IF_ERROR(WriteFrame(fd_, FrameType::kSearchRequest,
-                                  EncodeSearchRequest(request)));
+                                  EncodeSearchRequest(outbound)));
   FrameType type{};
   std::string payload;
   CAFE_RETURN_IF_ERROR(ReadFrame(fd_, &type, &payload));
@@ -77,7 +102,11 @@ Status Client::Search(const SearchRequest& request,
     return Status::Corruption("expected SearchResponse frame, got type " +
                               std::to_string(static_cast<int>(type)));
   }
-  return DecodeSearchResponse(payload, response);
+  CAFE_RETURN_IF_ERROR(DecodeSearchResponse(payload, response));
+  // A v1 server does not echo; the caller still learns the id the
+  // request travelled under.
+  if (response->trace_id == 0) response->trace_id = outbound.trace_id;
+  return Status::OK();
 }
 
 Status Client::Stats(std::string* json) {

@@ -39,6 +39,13 @@ class Client {
   /// framing failure poisons the connection; a server-side failure
   /// (bad query, overload) arrives in `response->status` with the
   /// connection still usable.
+  ///
+  /// Trace ids: when `request.trace_id` is 0 the client mints a random
+  /// non-zero id for this request, so every request is joinable with
+  /// the server's flight recorder / slow log. Either way,
+  /// `response->trace_id` always carries the id this request travelled
+  /// under — the server's echo, or (against a v1 server that does not
+  /// echo) the id that was sent.
   [[nodiscard]] Status Search(const SearchRequest& request,
                               SearchResponse* response);
 
@@ -50,6 +57,11 @@ class Client {
 
  private:
   explicit Client(int fd) : fd_(fd) {}
+
+  /// A fresh non-zero trace id: a process-wide counter mixed through
+  /// splitmix64 with a per-process random base, so ids from concurrent
+  /// clients (and consecutive runs) don't collide or look sequential.
+  static uint64_t MintTraceId();
 
   int fd_ = -1;
   std::string server_version_;

@@ -3,6 +3,22 @@
 #include <algorithm>
 
 namespace cafe::server {
+namespace {
+
+// OptionsKey() is packed binary; the flight recorder wants something an
+// operator can read and compare across records.
+std::string HexFingerprint(const std::string& key) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size() * 2);
+  for (unsigned char c : key) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace
 
 Dispatcher::Dispatcher(SearchEngine* engine,
                        const DispatcherOptions& options)
@@ -37,6 +53,7 @@ Result<SearchResult> Dispatcher::Execute(const SearchRequest& request) {
     pending->deadline = Deadline::AfterMillis(request.deadline_millis);
   }
   pending->key = request.OptionsKey();
+  pending->trace_id = request.trace_id;
 
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -113,10 +130,10 @@ void Dispatcher::WorkerLoop() {
 void Dispatcher::RunBatch(std::vector<std::shared_ptr<Pending>> batch) {
   if (batches_ != nullptr) batches_->Increment();
   if (batch_size_ != nullptr) batch_size_->Record(batch.size());
-  if (queue_wait_micros_ != nullptr) {
-    for (const auto& p : batch) {
-      queue_wait_micros_->Record(
-          static_cast<uint64_t>(p->admitted.Micros()));
+  for (const auto& p : batch) {
+    p->queue_micros = static_cast<uint64_t>(p->admitted.Micros());
+    if (queue_wait_micros_ != nullptr) {
+      queue_wait_micros_->Record(p->queue_micros);
     }
   }
 
@@ -127,6 +144,7 @@ void Dispatcher::RunBatch(std::vector<std::shared_ptr<Pending>> batch) {
   live.reserve(batch.size());
   for (auto& p : batch) {
     if (p->deadline.Expired()) {
+      p->deadline_expired = true;
       SearchResult expired;
       expired.truncated = true;
       Complete(p, Status::OK(), std::move(expired));
@@ -146,14 +164,18 @@ void Dispatcher::RunBatch(std::vector<std::shared_ptr<Pending>> batch) {
   }
 
   WallTimer search_timer;
+  std::vector<obs::SearchTrace> traces;
   Result<std::vector<SearchResult>> results = engine_->BatchSearchTraced(
-      queries, live.front()->options, /*traces=*/nullptr, &deadlines);
+      queries, live.front()->options, &traces, &deadlines);
   if (search_micros_ != nullptr) {
     search_micros_->Record(static_cast<uint64_t>(search_timer.Micros()));
   }
 
   if (results.ok()) {
     for (size_t i = 0; i < live.size(); ++i) {
+      // Each request keeps its own slot of the batch trace, so the
+      // flight recorder shows this query's funnel, not the batch's.
+      if (i < traces.size()) live[i]->trace = traces[i];
       Complete(live[i], Status::OK(), std::move((*results)[i]));
     }
     return;
@@ -164,6 +186,7 @@ void Dispatcher::RunBatch(std::vector<std::shared_ptr<Pending>> batch) {
   for (const auto& p : live) {
     SearchOptions options = p->options;
     options.deadline = p->deadline.has_deadline() ? &p->deadline : nullptr;
+    options.trace = &p->trace;  // keep the funnel even on the retry path
     Result<SearchResult> one =
         SearchWithStrands(engine_, p->query, options);
     if (one.ok()) {
@@ -184,8 +207,27 @@ void Dispatcher::Complete(const std::shared_ptr<Pending>& p, Status status,
     p->status = std::move(status);
     p->result = std::move(result);
     p->done = true;
+    // Under mu_ on purpose: the moment the waiter can observe done, it
+    // may move the result out and inspect the recorder — so the record
+    // must land first, while the waiter is still excluded.
+    RecordFlight(*p);
   }
   done_cv_.notify_all();
+}
+
+void Dispatcher::RecordFlight(const Pending& p) {
+  if (options_.flight == nullptr) return;
+  obs::FlightRecord record;
+  record.trace_id = p.trace_id;
+  record.options_key = HexFingerprint(p.key);
+  record.queue_micros = p.queue_micros;
+  record.total_micros = static_cast<uint64_t>(p.admitted.Micros());
+  record.trace = p.trace;
+  record.hits = static_cast<uint32_t>(p.result.hits.size());
+  record.status_code = StatusCodeToWire(p.status);
+  record.truncated = p.result.truncated;
+  record.deadline_expired = p.deadline_expired;
+  options_.flight->Record(std::move(record));
 }
 
 }  // namespace cafe::server

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "search/engine.h"
 #include "server/protocol.h"
@@ -53,6 +54,12 @@ struct DispatcherOptions {
   /// When non-null, the dispatcher records the server.* metrics here
   /// (catalogue in docs/OBSERVABILITY.md).
   obs::MetricsRegistry* metrics = nullptr;
+  /// When non-null, every completed request — including queue-expired
+  /// and failed ones — leaves one FlightRecord here: trace id, options
+  /// fingerprint, queue wait, end-to-end time, and the per-request
+  /// pruning funnel (the per-query slot of BatchSearchTraced, so
+  /// batch-mates never blur each other's funnel).
+  obs::FlightRecorder* flight = nullptr;
 };
 
 class Dispatcher {
@@ -84,7 +91,11 @@ class Dispatcher {
     SearchOptions options;  // deadline handled separately, see below
     Deadline deadline;
     std::string key;        // OptionsKey() of the originating request
+    uint64_t trace_id = 0;  // wire trace id, 0 when the caller sent none
     WallTimer admitted;     // queue-wait + end-to-end latency clock
+    uint64_t queue_micros = 0;    // stamped when the batch is dispatched
+    obs::SearchTrace trace;       // this request's slot of the batch trace
+    bool deadline_expired = false;  // budget spent before dispatch
     SearchResult result;
     Status status;
     bool done = false;
@@ -96,6 +107,9 @@ class Dispatcher {
   void RunBatch(std::vector<std::shared_ptr<Pending>> batch);
   void Complete(const std::shared_ptr<Pending>& p, Status status,
                 SearchResult result);
+  /// Leaves `p`'s FlightRecord with the recorder, when one is attached.
+  /// Called exactly once per request, from Complete().
+  void RecordFlight(const Pending& p);
 
   SearchEngine* const engine_;
   const DispatcherOptions options_;

@@ -105,6 +105,10 @@ class ByteReader {
     return Status::OK();
   }
 
+  /// True when every payload byte has been consumed — the v1 shape of
+  /// a payload whose newer fields are trailing additions.
+  bool AtEnd() const { return pos_ == data_.size(); }
+
  private:
   static Status Short() {
     return Status::Corruption("payload truncated");
@@ -204,6 +208,7 @@ std::string EncodeSearchRequest(const SearchRequest& request) {
   PutU8(&out, static_cast<uint8_t>(request.rescore_full));
   PutU32(&out, request.deadline_millis);
   PutString(&out, request.query);
+  PutU64(&out, request.trace_id);  // v2 trailing field
   return out;
 }
 
@@ -221,6 +226,11 @@ Status DecodeSearchRequest(std::string_view payload, SearchRequest* out) {
   CAFE_RETURN_IF_ERROR(r.GetU8(&rescore));
   CAFE_RETURN_IF_ERROR(r.GetU32(&out->deadline_millis));
   CAFE_RETURN_IF_ERROR(r.GetString(&out->query));
+  // v2 appended the trace id; a v1 payload ends at the query.
+  out->trace_id = 0;
+  if (!r.AtEnd()) {
+    CAFE_RETURN_IF_ERROR(r.GetU64(&out->trace_id));
+  }
   CAFE_RETURN_IF_ERROR(r.ExpectDone());
   out->band = static_cast<int32_t>(band);
   out->min_score = static_cast<int32_t>(min_score);
@@ -245,6 +255,7 @@ std::string EncodeSearchResponse(const SearchResponse& response) {
     PutDouble(&out, hit.coarse_score);
     PutU8(&out, hit.strand == Strand::kReverse ? 1 : 0);
   }
+  PutU64(&out, response.trace_id);  // v2 trailing field
   return out;
 }
 
@@ -285,6 +296,11 @@ Status DecodeSearchResponse(std::string_view payload, SearchResponse* out) {
     hit.strand = strand == 1 ? Strand::kReverse : Strand::kForward;
     out->hits.push_back(std::move(hit));
   }
+  // v2 appended the trace id; a v1 payload ends with the last hit.
+  out->trace_id = 0;
+  if (!r.AtEnd()) {
+    CAFE_RETURN_IF_ERROR(r.GetU64(&out->trace_id));
+  }
   return r.ExpectDone();
 }
 
@@ -317,14 +333,15 @@ Status StatusFromWire(uint8_t code, std::string message) {
                           std::to_string(code) + ": " + message);
 }
 
-Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+Status WriteFrame(int fd, FrameType type, std::string_view payload,
+                  uint16_t version) {
   if (payload.size() > kMaxPayloadBytes) {
     return Status::InvalidArgument("frame payload exceeds kMaxPayloadBytes");
   }
   std::string frame;
   frame.reserve(kFrameHeaderBytes + payload.size());
   PutU32(&frame, kFrameMagic);
-  PutU16(&frame, kProtocolVersion);
+  PutU16(&frame, version);
   PutU16(&frame, static_cast<uint16_t>(type));
   PutU32(&frame, static_cast<uint32_t>(payload.size()));
   PutU32(&frame, Crc32(payload.data(), payload.size()));
@@ -349,10 +366,11 @@ Status ReadFrame(int fd, FrameType* type, std::string* payload) {
   if (magic != kFrameMagic) {
     return Status::Corruption("bad frame magic");
   }
-  if (version != kProtocolVersion) {
-    return Status::NotSupported("protocol version " +
-                                std::to_string(version) + ", expected " +
-                                std::to_string(kProtocolVersion));
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
+    return Status::NotSupported(
+        "protocol version " + std::to_string(version) + ", this build "
+        "speaks " + std::to_string(kMinProtocolVersion) + ".." +
+        std::to_string(kProtocolVersion));
   }
   if (size > kMaxPayloadBytes) {
     return Status::Corruption("frame payload length " +

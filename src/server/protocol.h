@@ -34,7 +34,16 @@
 namespace cafe::server {
 
 inline constexpr uint32_t kFrameMagic = 0x45464143u;  // "CAFE"
-inline constexpr uint16_t kProtocolVersion = 1;
+/// Current protocol version. v2 added the optional trailing trace-id
+/// field to SearchRequest and SearchResponse.
+inline constexpr uint16_t kProtocolVersion = 2;
+/// Oldest version this build still speaks. ReadFrame accepts any frame
+/// version in [kMinProtocolVersion, kProtocolVersion], and the
+/// trace-id field is a *trailing* addition, so a v1 payload (request
+/// or response) decodes here with trace_id = 0 — a v1 peer's Hello,
+/// requests and responses all still work against this build
+/// (asserted both directions in protocol_test).
+inline constexpr uint16_t kMinProtocolVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 16;
 
 /// Upper bound on a frame payload. Anything larger is Corruption —
@@ -70,6 +79,13 @@ struct SearchRequest {
   /// 0 = no deadline.
   uint32_t deadline_millis = 0;
   std::string query;  // normalized IUPAC nucleotides
+  /// End-to-end request correlation id, echoed verbatim in the
+  /// SearchResponse and stamped on the server's flight-recorder entry
+  /// and log lines for this request. 0 = caller declined to pick one;
+  /// Client::Search mints a random id in that case so every request is
+  /// joinable. Not part of OptionsKey(). v2 wire field — absent (0)
+  /// when the peer speaks v1.
+  uint64_t trace_id = 0;
 
   /// The engine-side options these wire fields select (deadline and
   /// server-side knobs left at their defaults).
@@ -89,6 +105,10 @@ struct SearchResponse {
   /// seq_id / score / coarse_score / strand are filled; alignment and
   /// statistics fields do not travel.
   std::vector<SearchHit> hits;
+  /// The request's trace id, echoed so the client can join its own
+  /// latency measurement with the server's flight-recorder entry.
+  /// v2 wire field — 0 from a v1 server.
+  uint64_t trace_id = 0;
 };
 
 // --- Payload codecs -------------------------------------------------
@@ -111,9 +131,11 @@ Status StatusFromWire(uint8_t code, std::string message);
 
 // --- Framed socket I/O (blocking, EINTR-safe) -----------------------
 
-/// Writes one complete frame to `fd`.
+/// Writes one complete frame to `fd`. `version` stamps the header —
+/// callers other than compatibility tests leave the default.
 [[nodiscard]] Status WriteFrame(int fd, FrameType type,
-                                std::string_view payload);
+                                std::string_view payload,
+                                uint16_t version = kProtocolVersion);
 
 /// Reads one complete frame. Clean EOF before any header byte returns
 /// NotFound (the peer hung up between frames); everything else that is

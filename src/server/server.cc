@@ -164,6 +164,9 @@ void Server::HandleConnection(int fd) {
           protocol_errors_->Increment();
           response.status = std::move(decoded);
         } else {
+          // Echo the trace id whatever the outcome, so the caller can
+          // join even a rejected request with the server's records.
+          response.trace_id = request.trace_id;
           request.query = NormalizeSequence(request.query);
           if (!IsValidSequence(request.query) || request.query.empty()) {
             response.status = Status::InvalidArgument(

@@ -65,6 +65,12 @@ class Server {
   /// The registry the server records into (owned or caller-provided).
   obs::MetricsRegistry* metrics() { return metrics_; }
 
+  /// Queued-but-not-yet-dispatched requests right now (0 before
+  /// Start()). Feeds /statusz.
+  size_t QueueDepth() const {
+    return dispatcher_ != nullptr ? dispatcher_->QueueDepth() : 0;
+  }
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);

@@ -66,6 +66,7 @@ fi
 "$CLI" build --fasta "$DIR/db.fa" --collection "$DIR/db3.col" \
     --index "$DIR/db3.idx" --stats=json > "$DIR/build.json"
 grep -q 'index_build.builds' "$DIR/build.json"
+grep -q '"p50"' "$DIR/build.json"
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$DIR/build.json" > /dev/null
 fi

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "server/dispatcher.h"
 
@@ -222,6 +223,75 @@ TEST(DispatcherTest, QueueExpiredDeadlineCompletesWithoutEngineCall) {
   // Only the blocker reached the engine.
   EXPECT_EQ(engine.entered(), 1);
   EXPECT_EQ(CounterValue(&metrics, "server.deadline_exceeded"), 1u);
+}
+
+TEST(DispatcherTest, FlightRecorderGetsOneRecordPerRequest) {
+  StubEngine engine;
+  obs::FlightRecorder flight(
+      {.capacity = 8, .slow_micros = 0, .slow_capacity = 8});  // pin all
+  DispatcherOptions options;
+  options.flight = &flight;
+  Dispatcher dispatcher(&engine, options);
+
+  SearchRequest req = Req("ACGTACGT");
+  req.trace_id = 0xabcdef;
+  ASSERT_TRUE(dispatcher.Execute(req).ok());
+  ASSERT_TRUE(dispatcher.Execute(Req("CCCC")).ok());  // no trace id
+
+  EXPECT_EQ(flight.recorded(), 2u);
+  std::vector<obs::FlightRecord> recent = flight.Recent(8);
+  ASSERT_EQ(recent.size(), 2u);
+  // Newest first: the id-less request, then the traced one.
+  EXPECT_EQ(recent[0].trace_id, 0u);
+  EXPECT_EQ(recent[1].trace_id, 0xabcdefu);
+  EXPECT_EQ(recent[1].hits, 1u);
+  EXPECT_EQ(recent[1].status_code, 0u);  // wire code for OK
+  EXPECT_FALSE(recent[1].truncated);
+  EXPECT_FALSE(recent[1].deadline_expired);
+  EXPECT_FALSE(recent[1].options_key.empty());
+  EXPECT_GE(recent[1].total_micros, recent[1].queue_micros);
+  // slow_micros = 0 pins every record into the slow log too.
+  EXPECT_EQ(flight.slow_recorded(), 2u);
+}
+
+TEST(DispatcherTest, QueueExpiredRequestLeavesDeadlineExpiredRecord) {
+  Gate gate;
+  StubEngine engine(&gate);
+  obs::FlightRecorder flight({.capacity = 8, .slow_micros = 0});
+  DispatcherOptions options;
+  options.workers = 1;
+  options.flight = &flight;
+  Dispatcher dispatcher(&engine, options);
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(
+      [&] { EXPECT_TRUE(dispatcher.Execute(Req("AAAA")).ok()); });
+  WaitUntil([&] { return engine.entered() == 1; });
+
+  SearchRequest doomed = Req("CCCC");
+  doomed.deadline_millis = 1;
+  doomed.trace_id = 0xd00dull;
+  Result<SearchResult> result = Status::Internal("not yet completed");
+  threads.emplace_back([&] { result = dispatcher.Execute(doomed); });
+  WaitUntil([&] { return dispatcher.QueueDepth() == 1; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->truncated);
+
+  // Both requests are on record; the doomed one says why it was empty.
+  EXPECT_EQ(flight.recorded(), 2u);
+  bool found = false;
+  for (const obs::FlightRecord& r : flight.Recent(8)) {
+    if (r.trace_id != 0xd00dull) continue;
+    found = true;
+    EXPECT_TRUE(r.truncated);
+    EXPECT_TRUE(r.deadline_expired);
+    EXPECT_EQ(r.hits, 0u);
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(DispatcherTest, StopDrainsAdmittedRequests) {

@@ -1,0 +1,153 @@
+// Tests for the introspection HTTP listener: request parsing, routing
+// to the handler, error statuses, and shutdown.
+
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace cafe::server {
+namespace {
+
+// One raw HTTP exchange: connect, send `request` verbatim, read to EOF.
+std::string Exchange(uint16_t port, const std::string& request) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[1024];
+  while (true) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void StartServer() {
+    HttpOptions options;
+    options.metrics = &metrics_;
+    server_ = std::make_unique<HttpServer>(
+        [](const std::string& path) {
+          HttpResponse response;
+          if (path == "/hello") {
+            response.body = "hi there\n";
+          } else if (path == "/json") {
+            response.content_type = "application/json";
+            response.body = "{\"ok\":true}";
+          } else {
+            response.status = 404;
+            response.body = "nope\n";
+          }
+          return response;
+        },
+        options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, ServesHandlerResponse) {
+  StartServer();
+  std::string response =
+      Exchange(server_->port(), "GET /hello HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 9"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nhi there\n"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, ContentTypePassesThrough) {
+  StartServer();
+  std::string response =
+      Exchange(server_->port(), "GET /json HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("{\"ok\":true}"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  StartServer();
+  std::string response =
+      Exchange(server_->port(), "GET /missing HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 404 Not Found"), std::string::npos)
+      << response;
+}
+
+TEST_F(HttpServerTest, QueryStringIsStripped) {
+  StartServer();
+  std::string response =
+      Exchange(server_->port(), "GET /hello?x=1 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
+      << response;
+}
+
+TEST_F(HttpServerTest, NonGetIs405) {
+  StartServer();
+  std::string response = Exchange(
+      server_->port(), "POST /hello HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 405 Method Not Allowed"),
+            std::string::npos)
+      << response;
+}
+
+TEST_F(HttpServerTest, MalformedRequestLineIs400) {
+  StartServer();
+  std::string response = Exchange(server_->port(), "GARBAGE\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 400 Bad Request"), std::string::npos)
+      << response;
+}
+
+TEST_F(HttpServerTest, CountsRequests) {
+  StartServer();
+  obs::Counter* requests = metrics_.GetCounter("server.http_requests");
+  const uint64_t before = requests->Value();
+  (void)Exchange(server_->port(), "GET /hello HTTP/1.0\r\n\r\n");
+  (void)Exchange(server_->port(), "GET /missing HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(requests->Value(), before + 2);
+}
+
+TEST_F(HttpServerTest, ShutdownIsIdempotentAndRestartable) {
+  StartServer();
+  const uint16_t first_port = server_->port();
+  server_->Shutdown();
+  server_->Shutdown();  // idempotent
+  ASSERT_TRUE(server_->Start().ok());
+  EXPECT_NE(server_->port(), 0);
+  (void)first_port;
+  std::string response =
+      Exchange(server_->port(), "GET /hello HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cafe::server

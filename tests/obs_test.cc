@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "search/partitioned.h"
 #include "sim/workload.h"
@@ -311,6 +312,116 @@ TEST(HistogramTest, ApproxPercentileEdgeCases) {
   obs::Histogram one;
   one.Record(7);
   EXPECT_EQ(one.Snap().ApproxPercentile(0.5), 7u);
+}
+
+// --- Windowed snapshots (DeltaFrom / MetricsRegistry::Delta) --------
+
+TEST(HistogramTest, DeltaFromIsolatesTheWindow) {
+  obs::Histogram h;
+  h.Record(5);
+  h.Record(1000);
+  obs::Histogram::Snapshot before = h.Snap();
+  h.Record(100);
+  h.Record(100);
+  h.Record(200);
+  obs::Histogram::Snapshot delta = h.Snap().DeltaFrom(before);
+
+  EXPECT_EQ(delta.count, 3u);
+  EXPECT_EQ(delta.sum, 400u);
+  // The interval's samples live in buckets 7 ([64,127]) and 8
+  // ([128,255]); min/max are those bucket edges.
+  EXPECT_EQ(delta.min, 64u);
+  EXPECT_EQ(delta.max, 255u);
+  // Interval percentiles stay meaningful: the p50 of {100,100,200}
+  // lands in the [64,127] bucket.
+  uint64_t p50 = delta.ApproxPercentile(0.50);
+  EXPECT_GE(p50, 64u);
+  EXPECT_LE(p50, 127u);
+
+  // A no-op window deltas to empty.
+  obs::Histogram::Snapshot now = h.Snap();
+  EXPECT_EQ(now.DeltaFrom(now).count, 0u);
+}
+
+TEST(RegistryTest, DeltaComputesIntervalRates) {
+  obs::MetricsRegistry r;
+  r.GetCounter("c")->Add(5);
+  r.GetHistogram("h")->Record(10);
+  obs::MetricsSnapshot before = r.SnapshotData();
+
+  r.GetCounter("c")->Add(3);
+  r.GetHistogram("h")->Record(20);
+  r.GetCounter("fresh")->Add(2);  // registered mid-window
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Delta(r.SnapshotData(), before);
+
+  EXPECT_EQ(delta.counters.at("c"), 3u);
+  EXPECT_EQ(delta.counters.at("fresh"), 2u);  // diffs against zero
+  EXPECT_EQ(delta.histograms.at("h").count, 1u);
+  EXPECT_EQ(delta.histograms.at("h").sum, 20u);
+}
+
+TEST(RegistryTest, SnapshotJsonHasPercentiles) {
+  obs::MetricsRegistry r;
+  for (int i = 0; i < 100; ++i) r.GetHistogram("h")->Record(64);
+  std::string json = r.SnapshotJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // All mass on one value: every percentile is that value (within the
+  // bucket's factor-of-two, clamped to observed max = 64).
+  EXPECT_NE(json.find("\"p99\":64"), std::string::npos) << json;
+}
+
+// --- Prometheus text exposition -------------------------------------
+
+TEST(RegistryTest, SnapshotPrometheusExposition) {
+  obs::MetricsRegistry r;
+  r.GetCounter("server.requests_accepted")->Add(7);
+  r.GetHistogram("server.request_micros")->Record(0);
+  r.GetHistogram("server.request_micros")->Record(100);
+  std::string text = r.SnapshotPrometheus();
+
+  // Counters: cafe_ prefix, dots to underscores, _total suffix.
+  EXPECT_NE(
+      text.find("# TYPE cafe_server_requests_accepted_total counter"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cafe_server_requests_accepted_total 7"),
+            std::string::npos);
+
+  // Histograms: cumulative le buckets, +Inf, _sum, _count.
+  EXPECT_NE(text.find("# TYPE cafe_server_request_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("cafe_server_request_micros_bucket{le=\"0\"} 1"),
+            std::string::npos)
+      << text;
+  // 100 lands in bucket [64,127]; cumulative count at that edge is 2.
+  EXPECT_NE(text.find("cafe_server_request_micros_bucket{le=\"127\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cafe_server_request_micros_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cafe_server_request_micros_sum 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("cafe_server_request_micros_count 2"),
+            std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+// --- Log line formatting --------------------------------------------
+
+TEST(LogTest, FormatLogLine) {
+  // 1234567890 s + 123456 us since the epoch.
+  const int64_t t = 1234567890123456;
+  EXPECT_EQ(obs::FormatLogLine(obs::LogSeverity::kInfo, "hello world",
+                               /*trace_id=*/0, t),
+            "2009-02-13T23:31:30.123Z I hello world");
+  EXPECT_EQ(obs::FormatLogLine(obs::LogSeverity::kError, "boom",
+                               /*trace_id=*/0xdeadbeef, t),
+            "2009-02-13T23:31:30.123Z E trace=00000000deadbeef boom");
+  EXPECT_EQ(obs::FormatLogLine(obs::LogSeverity::kWarning, "careful",
+                               /*trace_id=*/0, t),
+            "2009-02-13T23:31:30.123Z W careful");
 }
 
 }  // namespace

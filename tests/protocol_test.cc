@@ -168,12 +168,20 @@ TEST(ProtocolTest, TrailingBytesRejected) {
 }
 
 TEST(ProtocolTest, TruncatedPayloadsReturnCorruption) {
-  // Every proper prefix must fail cleanly — no partial-read crashes.
+  // Every proper prefix must fail cleanly — no partial-read crashes —
+  // with one deliberate exception: the prefix that is exactly a v1
+  // payload (v2 minus the trailing trace id) decodes, with trace_id 0.
   const std::string full = EncodeSearchRequest(MakeRequest());
+  const size_t v1_len = full.size() - sizeof(uint64_t);
   for (size_t len = 0; len < full.size(); ++len) {
     SearchRequest out;
     Status s = DecodeSearchRequest(full.substr(0, len), &out);
-    EXPECT_FALSE(s.ok()) << "prefix length " << len;
+    if (len == v1_len) {
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(out.trace_id, 0u);
+    } else {
+      EXPECT_FALSE(s.ok()) << "prefix length " << len;
+    }
   }
   const std::string hello = EncodeHello({"v1"});
   for (size_t len = 0; len < hello.size(); ++len) {
@@ -333,6 +341,88 @@ TEST(ProtocolTest, ToSearchOptionsMapsEveryWireField) {
   EXPECT_TRUE(o.search_both_strands);
   EXPECT_TRUE(o.rescore_full);
   EXPECT_EQ(o.deadline, nullptr);  // deadlines stay per-request
+}
+
+// --- Trace-id propagation and v1 <-> v2 compatibility ---------------
+
+TEST(ProtocolTest, TraceIdRoundTripsInRequest) {
+  SearchRequest in = MakeRequest();
+  in.trace_id = 0x0123456789abcdefull;
+  SearchRequest out;
+  ASSERT_TRUE(DecodeSearchRequest(EncodeSearchRequest(in), &out).ok());
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  EXPECT_EQ(out.query, in.query);
+}
+
+TEST(ProtocolTest, TraceIdRoundTripsInResponse) {
+  SearchResponse in;
+  in.trace_id = 0xfeedface12345678ull;
+  SearchHit hit;
+  hit.seq_id = 1;
+  in.hits.push_back(hit);
+  SearchResponse out;
+  ASSERT_TRUE(DecodeSearchResponse(EncodeSearchResponse(in), &out).ok());
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  ASSERT_EQ(out.hits.size(), 1u);
+}
+
+TEST(ProtocolTest, V1PayloadsDecodeWithZeroTraceId) {
+  // A v1 peer's payloads are exactly the v2 encoding minus the trailing
+  // trace id, for both directions of the conversation.
+  SearchRequest request = MakeRequest();
+  request.trace_id = 77;  // must NOT leak into the v1-shaped decode
+  std::string v1_request = EncodeSearchRequest(request);
+  v1_request.resize(v1_request.size() - sizeof(uint64_t));
+  SearchRequest req_out;
+  ASSERT_TRUE(DecodeSearchRequest(v1_request, &req_out).ok());
+  EXPECT_EQ(req_out.trace_id, 0u);
+  EXPECT_EQ(req_out.query, request.query);
+
+  SearchResponse response;
+  response.trace_id = 99;
+  SearchHit hit;
+  hit.seq_id = 5;
+  response.hits.push_back(hit);
+  std::string v1_response = EncodeSearchResponse(response);
+  v1_response.resize(v1_response.size() - sizeof(uint64_t));
+  SearchResponse resp_out;
+  ASSERT_TRUE(DecodeSearchResponse(v1_response, &resp_out).ok());
+  EXPECT_EQ(resp_out.trace_id, 0u);
+  ASSERT_EQ(resp_out.hits.size(), 1u);
+  EXPECT_EQ(resp_out.hits[0].seq_id, 5u);
+}
+
+TEST(ProtocolTest, MinProtocolVersionFramesAccepted) {
+  // Frames stamped with any version in [kMinProtocolVersion,
+  // kProtocolVersion] must read back — a v1 peer's Hello still works
+  // against this build.
+  static_assert(kMinProtocolVersion < kProtocolVersion);
+  SocketPair sp;
+  const std::string hello = EncodeHello({"legacy-peer"});
+  ASSERT_TRUE(WriteFrame(sp.fds[0], FrameType::kHello, hello,
+                         kMinProtocolVersion)
+                  .ok());
+  FrameType type{};
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(sp.fds[1], &type, &payload).ok());
+  EXPECT_EQ(type, FrameType::kHello);
+  Hello out;
+  ASSERT_TRUE(DecodeHello(payload, &out).ok());
+  EXPECT_EQ(out.server_version, "legacy-peer");
+}
+
+TEST(ProtocolTest, VersionsOutsideTheWindowAreRejected) {
+  // Below the floor and above the ceiling both fail with NotSupported
+  // (VersionSkewIsNotSupported covers kProtocolVersion + 1).
+  SocketPair sp;
+  const std::string payload = "xy";
+  SendRaw(sp.fds[0],
+          RawFrame(kFrameMagic, kMinProtocolVersion - 1, 2, payload.size(),
+                   Crc32(payload.data(), payload.size()), payload));
+  FrameType type{};
+  std::string got;
+  Status s = ReadFrame(sp.fds[1], &type, &got);
+  EXPECT_TRUE(s.IsNotSupported()) << s.ToString();
 }
 
 }  // namespace

@@ -1,14 +1,17 @@
 #!/bin/sh
 # End-to-end smoke test of the serving stack: build a small index,
-# start cafe_serve on an ephemeral port, drive it with cafe_loadgen
-# (4 concurrent clients), fetch the stats document, then SIGTERM the
-# server and require a clean (exit 0) graceful shutdown.
+# start cafe_serve on an ephemeral port with the introspection
+# listener, drive it with cafe_loadgen (4 concurrent clients), follow
+# one trace id from the loadgen report into /slowz, validate /metrics
+# as Prometheus text exposition, fetch the stats document, then
+# SIGTERM the server and require a clean (exit 0) graceful shutdown.
 # Run by ctest as: serve_smoke_test.sh <cafe_cli> <cafe_serve> <cafe_loadgen>
 set -eu
 
 CLI="${1:?usage: serve_smoke_test.sh <cafe_cli> <cafe_serve> <cafe_loadgen>}"
 SERVE="${2:?missing cafe_serve path}"
 LOADGEN="${3:?missing cafe_loadgen path}"
+TOOLS_DIR="$(dirname "$0")/../tools"
 DIR="$(mktemp -d "${TMPDIR:-/tmp}/cafe_serve_test.XXXXXX")"
 SERVER_PID=""
 cleanup() {
@@ -19,6 +22,20 @@ cleanup() {
 }
 trap cleanup EXIT
 
+HAVE_PYTHON=0
+if command -v python3 > /dev/null 2>&1; then
+  HAVE_PYTHON=1
+fi
+
+# Fetch an introspection endpoint over plain HTTP/1.0.
+fetch() {
+  python3 -c '
+import sys, urllib.request
+with urllib.request.urlopen(sys.argv[1], timeout=10) as r:
+    sys.stdout.write(r.read().decode())
+' "$1"
+}
+
 "$SERVE" --version | grep -q "cafe_serve"
 "$LOADGEN" --version | grep -q "cafe_loadgen"
 "$CLI" --version | grep -q "cafe_cli"
@@ -27,35 +44,59 @@ trap cleanup EXIT
 "$CLI" build --fasta "$DIR/db.fa" --collection "$DIR/db.col" \
     --index "$DIR/db.idx" --interval 8 > /dev/null
 
+# --slow-ms 0 pins every completed request into the slow log, so the
+# trace id the loadgen reports below is guaranteed to be in /slowz.
 "$SERVE" --collection "$DIR/db.col" --index "$DIR/db.idx" \
     --port 0 --port-file "$DIR/port" --workers 2 \
+    --http-port 0 --http-port-file "$DIR/http_port" \
+    --slow-ms 0 --flight-capacity 64 --slow-capacity 64 \
+    --stats-interval 1 \
     > "$DIR/server.log" 2>&1 &
 SERVER_PID=$!
 
-# Wait for the server to publish its ephemeral port.
-tries=0
-while [ ! -s "$DIR/port" ]; do
-  tries=$((tries + 1))
-  if [ "$tries" -gt 100 ]; then
-    echo "server never wrote its port file" >&2
-    cat "$DIR/server.log" >&2
-    exit 1
-  fi
-  if ! kill -0 "$SERVER_PID" 2> /dev/null; then
-    echo "server exited before listening" >&2
-    cat "$DIR/server.log" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
+# Wait for the server to publish its ephemeral ports.
+wait_for_file() {
+  tries=0
+  while [ ! -s "$1" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "server never wrote $1" >&2
+      cat "$DIR/server.log" >&2
+      exit 1
+    fi
+    if ! kill -0 "$SERVER_PID" 2> /dev/null; then
+      echo "server exited before listening" >&2
+      cat "$DIR/server.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+wait_for_file "$DIR/port"
+wait_for_file "$DIR/http_port"
 PORT="$(cat "$DIR/port")"
+HTTP_PORT="$(cat "$DIR/http_port")"
 
 # Closed-loop run: 4 clients, queries excised from the collection itself
-# so the searches produce real hits.
+# so the searches produce real hits. --slow-ms/--trace-ids turn on the
+# client-side latency report used to follow a trace id to the server.
 "$LOADGEN" --port "$PORT" --query-file "$DIR/db.fa" \
-    --clients 4 --requests 8 > "$DIR/loadgen.log"
+    --clients 4 --requests 8 --slow-ms 1 --trace-ids 3 \
+    > "$DIR/loadgen.log"
 grep -q "32 responses" "$DIR/loadgen.log"
 grep -q "errors 0" "$DIR/loadgen.log"
+grep -q "slow requests" "$DIR/loadgen.log"
+grep -q "latency buckets" "$DIR/loadgen.log"
+grep -q "slowest 3 requests:" "$DIR/loadgen.log"
+
+# The slowest request's trace id (16 hex digits) as the client saw it.
+TRACE_ID="$(sed -n 's/.*trace=\([0-9a-f]\{16\}\).*/\1/p' \
+    "$DIR/loadgen.log" | head -1)"
+if [ -z "$TRACE_ID" ]; then
+  echo "loadgen printed no trace ids" >&2
+  cat "$DIR/loadgen.log" >&2
+  exit 1
+fi
 
 # And an open-loop paced run with a generous deadline; the stats
 # snapshot afterwards covers both runs.
@@ -65,11 +106,12 @@ grep -q "errors 0" "$DIR/loadgen.log"
 grep -q "errors 0" "$DIR/loadgen2.log"
 
 # The stats document is valid JSON in the --stats=json schema family and
-# carries the server.* metrics.
+# carries the server.* metrics, now with percentile summaries.
 grep -q '"command":"stats"' "$DIR/stats.json"
 grep -q 'server.requests_accepted' "$DIR/stats.json"
 grep -q 'server.batch_size' "$DIR/stats.json"
-if command -v python3 > /dev/null 2>&1; then
+grep -q '"p50"' "$DIR/stats.json"
+if [ "$HAVE_PYTHON" -eq 1 ]; then
   python3 - "$DIR/stats.json" << 'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -77,8 +119,56 @@ assert doc["command"] == "stats", doc
 assert "version" in doc["server"], doc
 accepted = doc["metrics"]["counters"]["server.requests_accepted"]
 assert accepted >= 40, accepted  # 32 + 8 requests across the two runs
+hist = doc["metrics"]["histograms"]["server.request_micros"]
+for key in ("p50", "p90", "p99"):
+    assert key in hist, hist
 EOF
 fi
+
+# --- Live introspection over HTTP ------------------------------------
+if [ "$HAVE_PYTHON" -eq 1 ]; then
+  # /metrics must be valid Prometheus text exposition.
+  fetch "http://127.0.0.1:$HTTP_PORT/metrics" > "$DIR/metrics.txt"
+  grep -q "cafe_server_requests_accepted_total" "$DIR/metrics.txt"
+  grep -q "cafe_server_request_micros_bucket" "$DIR/metrics.txt"
+  python3 "$TOOLS_DIR/promcheck.py" "$DIR/metrics.txt"
+
+  # /statusz carries the runtime summary.
+  fetch "http://127.0.0.1:$HTTP_PORT/statusz" > "$DIR/statusz.json"
+  grep -q '"engine"' "$DIR/statusz.json"
+  grep -q '"flight_recorded"' "$DIR/statusz.json"
+  python3 -m json.tool "$DIR/statusz.json" > /dev/null
+
+  # /flightz is the recent-request ring.
+  fetch "http://127.0.0.1:$HTTP_PORT/flightz" > "$DIR/flightz.json"
+  grep -q '"records"' "$DIR/flightz.json"
+  python3 -m json.tool "$DIR/flightz.json" > /dev/null
+
+  # The full loop: the slowest trace id the *client* printed must be in
+  # the server's slow log, with the complete pruning funnel attached.
+  fetch "http://127.0.0.1:$HTTP_PORT/slowz" > "$DIR/slowz.json"
+  if ! grep -q "\"trace_id\":\"$TRACE_ID\"" "$DIR/slowz.json"; then
+    echo "trace $TRACE_ID not found in /slowz" >&2
+    cat "$DIR/slowz.json" >&2
+    exit 1
+  fi
+  grep -q '"candidates_aligned"' "$DIR/slowz.json"
+  grep -q '"queue_us"' "$DIR/slowz.json"
+  python3 -m json.tool "$DIR/slowz.json" > /dev/null
+
+  # Unknown paths 404 without killing the listener.
+  python3 -c '
+import sys, urllib.request, urllib.error
+try:
+    urllib.request.urlopen(sys.argv[1], timeout=10)
+except urllib.error.HTTPError as e:
+    sys.exit(0 if e.code == 404 else 1)
+sys.exit(1)
+' "http://127.0.0.1:$HTTP_PORT/nope"
+fi
+
+# Let the stats thread complete at least one window.
+sleep 1.2
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$SERVER_PID"
@@ -91,5 +181,7 @@ if [ "$rc" -ne 0 ]; then
   exit 1
 fi
 grep -q "shutting down" "$DIR/server.log"
+grep -q "introspection on" "$DIR/server.log"
+grep -q "stats window" "$DIR/server.log"
 
 echo "serve_smoke_test OK"

@@ -170,6 +170,52 @@ TEST(ServerTest, FourConcurrentClientsGetCorrectAnswers) {
   server.Shutdown();
 }
 
+TEST(ServerTest, TraceIdIsEchoedEndToEnd) {
+  Fixture f = MakeFixture(/*num_queries=*/1);
+  PartitionedSearch engine(&f.collection, &f.index);
+  Server server(&engine, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  std::unique_ptr<Client> client = MustConnect(server);
+
+  SearchRequest request;
+  request.query = f.queries[0];
+  request.trace_id = 0x1122334455667788ull;
+  SearchResponse response;
+  ASSERT_TRUE(client->Search(request, &response).ok());
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.trace_id, 0x1122334455667788ull);
+
+  // Errors echo the id too — it is how the caller correlates failures.
+  SearchRequest bad;
+  bad.query = "AC!!GT";
+  bad.trace_id = 0x99ull;
+  ASSERT_TRUE(client->Search(bad, &response).ok());
+  EXPECT_TRUE(response.status.IsInvalidArgument());
+  EXPECT_EQ(response.trace_id, 0x99ull);
+  server.Shutdown();
+}
+
+TEST(ServerTest, ClientMintsTraceIdWhenCallerLeavesItZero) {
+  Fixture f = MakeFixture(/*num_queries=*/2);
+  PartitionedSearch engine(&f.collection, &f.index);
+  Server server(&engine, ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  std::unique_ptr<Client> client = MustConnect(server);
+
+  SearchRequest request;
+  request.query = f.queries[0];
+  ASSERT_EQ(request.trace_id, 0u);  // caller did not set one
+  SearchResponse first;
+  ASSERT_TRUE(client->Search(request, &first).ok());
+  EXPECT_NE(first.trace_id, 0u);  // minted by the client
+
+  SearchResponse second;
+  ASSERT_TRUE(client->Search(request, &second).ok());
+  EXPECT_NE(second.trace_id, 0u);
+  EXPECT_NE(second.trace_id, first.trace_id);  // unique per request
+  server.Shutdown();
+}
+
 TEST(ServerTest, StatsVerbReturnsServerMetrics) {
   Fixture f = MakeFixture(/*num_queries=*/1);
   PartitionedSearch engine(&f.collection, &f.index);

@@ -5,7 +5,7 @@
 //       [--clients N] [--requests N] [--duration SECONDS]
 //       [--rate PER_CLIENT_QPS]   (open loop; default closed loop)
 //       [--deadline-ms N] [--top N] [--candidates N] [--both-strands]
-//       [--stats-out FILE]
+//       [--stats-out FILE] [--slow-ms N] [--trace-ids N]
 //   cafe_loadgen --version
 //
 // Each client thread opens its own connection and cycles through the
@@ -17,9 +17,17 @@
 // truncated / error split. --stats-out fetches the server's stats
 // document (the --stats=json schema) after the run.
 //
+// --slow-ms N prints the latency histogram buckets and how many
+// requests crossed the threshold; --trace-ids N prints the server-
+// echoed trace ids of the N slowest requests (`trace=<16 hex>`, the
+// same rendering as server log lines and /flightz), so a slow request
+// seen from the client can be joined with the server's flight
+// recorder / slow log entry for it.
+//
 // Exit status 0 when every request got a response (overloaded and
 // truncated count as responses), 1 otherwise.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -51,7 +59,16 @@ struct LoadOptions {
   uint64_t requests = 64;  // per client; 0 = until --duration
   double duration = 0.0;   // seconds; 0 = until --requests
   double rate = 0.0;       // per-client target qps; 0 = closed loop
+  uint64_t slow_ms = 0;    // 0 = no slow/bucket report
+  uint32_t trace_ids = 0;  // print ids of the N slowest; 0 = off
   server::SearchRequest request_template;
+};
+
+// One completed request as the client saw it, for the --trace-ids
+// slowest-request report.
+struct Sample {
+  uint64_t micros = 0;
+  uint64_t trace_id = 0;
 };
 
 struct ClientStats {
@@ -59,6 +76,8 @@ struct ClientStats {
   uint64_t overloaded = 0;
   uint64_t truncated = 0;
   uint64_t errors = 0;
+  uint64_t slow = 0;            // responses at or over --slow-ms
+  std::vector<Sample> samples;  // filled only when --trace-ids > 0
 };
 
 // One client thread: own connection, own slice of the query set.
@@ -93,7 +112,15 @@ void RunClient(const LoadOptions& opt,
     WallTimer timer;
     server::SearchResponse response;
     Status s = (*client)->Search(request, &response);
-    latency_micros->Record(static_cast<uint64_t>(timer.Micros()));
+    const uint64_t micros = static_cast<uint64_t>(timer.Micros());
+    latency_micros->Record(micros);
+    if (s.ok() && opt.trace_ids > 0) {
+      // Client::Search always leaves the travelled id in the response.
+      stats->samples.push_back({micros, response.trace_id});
+    }
+    if (s.ok() && opt.slow_ms > 0 && micros >= opt.slow_ms * 1000) {
+      stats->slow += 1;
+    }
     if (!s.ok()) {
       stats->errors += 1;
       std::fprintf(stderr, "client %u: %s\n", id, s.ToString().c_str());
@@ -119,6 +146,8 @@ Status Run(FlagParser& flags) {
   opt.requests = static_cast<uint64_t>(flags.GetInt("requests", 64));
   opt.duration = flags.GetDouble("duration", 0.0);
   opt.rate = flags.GetDouble("rate", 0.0);
+  opt.slow_ms = static_cast<uint64_t>(flags.GetInt("slow-ms", 0));
+  opt.trace_ids = static_cast<uint32_t>(flags.GetInt("trace-ids", 0));
   opt.request_template.deadline_millis =
       static_cast<uint64_t>(flags.GetInt("deadline-ms", 0));
   opt.request_template.max_results =
@@ -185,6 +214,7 @@ Status Run(FlagParser& flags) {
     total.overloaded += s.overloaded;
     total.truncated += s.truncated;
     total.errors += s.errors;
+    total.slow += s.slow;
   }
   const uint64_t responses = total.ok + total.overloaded + total.truncated;
   obs::Histogram::Snapshot snap = latency.Snap();
@@ -202,6 +232,44 @@ Status Run(FlagParser& flags) {
       static_cast<double>(snap.ApproxPercentile(0.90)) / 1e3,
       static_cast<double>(snap.ApproxPercentile(0.99)) / 1e3,
       static_cast<double>(snap.max) / 1e3);
+
+  if (opt.slow_ms > 0) {
+    std::printf("  slow requests (>= %llums): %llu of %llu\n",
+                static_cast<unsigned long long>(opt.slow_ms),
+                static_cast<unsigned long long>(total.slow),
+                static_cast<unsigned long long>(responses));
+    std::printf("  latency buckets (us):\n");
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
+      // Bucket i of the bit-width histogram holds [2^(i-1), 2^i);
+      // bucket 0 holds the exact value 0.
+      const uint64_t lo = i == 0 ? 0 : 1ull << (i - 1);
+      const uint64_t hi =
+          i == 0 ? 0 : (i >= 64 ? UINT64_MAX : (1ull << i) - 1);
+      std::printf("    [%llu, %llu] %llu\n",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(snap.buckets[i]));
+    }
+  }
+
+  if (opt.trace_ids > 0) {
+    std::vector<Sample> all;
+    for (ClientStats& s : stats) {
+      all.insert(all.end(), s.samples.begin(), s.samples.end());
+    }
+    std::sort(all.begin(), all.end(), [](const Sample& a, const Sample& b) {
+      return a.micros > b.micros;
+    });
+    const size_t n = std::min<size_t>(opt.trace_ids, all.size());
+    std::printf("  slowest %llu requests:\n",
+                static_cast<unsigned long long>(n));
+    for (size_t i = 0; i < n; ++i) {
+      std::printf("    %.2fms trace=%016llx\n",
+                  static_cast<double>(all[i].micros) / 1e3,
+                  static_cast<unsigned long long>(all[i].trace_id));
+    }
+  }
 
   if (!stats_out.empty()) {
     Result<std::unique_ptr<server::Client>> client =

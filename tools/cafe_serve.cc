@@ -4,6 +4,9 @@
 //       [--host 127.0.0.1] [--port 0] [--port-file FILE]
 //       [--workers N] [--queue N] [--batch N] [--search-threads N]
 //       [--disk-index]
+//       [--http-port N] [--http-port-file FILE]
+//       [--slow-ms N] [--flight-capacity N] [--slow-capacity N]
+//       [--stats-interval SECONDS]
 //   cafe_serve --version
 //
 // Speaks the length-prefixed binary protocol in src/server/protocol.h;
@@ -12,21 +15,41 @@
 // port for scripts to discover. SIGINT/SIGTERM trigger a graceful
 // drain: in-flight requests complete, then the process exits 0.
 //
+// --http-port (>= 0; 0 = ephemeral) additionally starts the live
+// introspection listener: /metrics (Prometheus text exposition),
+// /statusz (JSON status), /flightz and /slowz (flight recorder / slow
+// log as JSON). --slow-ms sets the slow-log pin threshold (0 pins every
+// request). --stats-interval N > 0 starts a stats thread that logs one
+// windowed-delta line every N seconds.
+//
+// Operational messages go through obs::Log (timestamped, severity,
+// trace-id aware); only usage/--version output and the port files are
+// raw writes.
+//
 // Exit status 0 on clean shutdown, 1 on any startup error.
 
 #include <unistd.h>
 
+#include <chrono>
+#include <cinttypes>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "collection/collection.h"
 #include "index/disk_index.h"
 #include "index/inverted_index.h"
+#include "obs/flight.h"
+#include "obs/log.h"
 #include "search/partitioned.h"
+#include "server/http.h"
 #include "server/server.h"
 #include "util/flags.h"
+#include "util/timer.h"
 #include "util/version.h"
 
 namespace cafe {
@@ -39,25 +62,97 @@ volatile std::sig_atomic_t g_stop = 0;
 void HandleSignal(int /*signum*/) { g_stop = 1; }
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  obs::LogError(status.ToString());
   return 1;
 }
 
 int Usage() {
+  // NOLINTNEXTLINE(cafe-no-raw-fprintf) — usage text, not a log line.
   std::fprintf(
       stderr,
       "usage: cafe_serve --collection FILE --index FILE\n"
       "           [--host ADDR] [--port N] [--port-file FILE]\n"
       "           [--workers N] [--queue N] [--batch N]\n"
       "           [--search-threads N] [--disk-index]\n"
+      "           [--http-port N] [--http-port-file FILE]\n"
+      "           [--slow-ms N] [--flight-capacity N] [--slow-capacity N]\n"
+      "           [--stats-interval SECONDS]\n"
       "       cafe_serve --version\n");
   return 1;
+}
+
+Status WritePortFile(const std::string& path, uint16_t port) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write port file " + path);
+  }
+  // NOLINTNEXTLINE(cafe-no-raw-fprintf) — data file, not a log line.
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  return Status::OK();
+}
+
+std::string StatuszJson(const server::Server& server,
+                        const server::HttpServer& http,
+                        const obs::FlightRecorder& flight,
+                        const WallTimer& uptime, uint32_t sequences,
+                        const std::string& engine_name) {
+  char buf[256];
+  std::string out = "{\"version\":\"";
+  out += obs::JsonEscape(kVersionString);
+  out += "\",\"engine\":\"";
+  out += obs::JsonEscape(engine_name);
+  out += "\"";
+  std::snprintf(buf, sizeof(buf),
+                ",\"protocol\":%u,\"uptime_seconds\":%" PRIu64
+                ",\"sequences\":%u,\"port\":%u,\"http_port\":%u"
+                ",\"queue_depth\":%zu,\"flight_recorded\":%" PRIu64
+                ",\"slow_recorded\":%" PRIu64
+                ",\"slow_threshold_micros\":%" PRIu64 "}",
+                static_cast<unsigned>(server::kProtocolVersion),
+                static_cast<uint64_t>(uptime.Micros() / 1000000), sequences,
+                static_cast<unsigned>(server.port()),
+                static_cast<unsigned>(http.port()), server.QueueDepth(),
+                flight.recorded(), flight.slow_recorded(),
+                flight.slow_threshold_micros());
+  out += buf;
+  return out;
+}
+
+// One windowed-delta log line: interval rates and interval latency
+// percentiles, from MetricsRegistry::Delta over SnapshotData.
+void LogStatsWindow(const obs::MetricsSnapshot& delta, uint64_t seconds) {
+  auto counter = [&](const char* name) -> uint64_t {
+    auto it = delta.counters.find(name);
+    return it == delta.counters.end() ? 0 : it->second;
+  };
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+  uint64_t count = 0;
+  auto it = delta.histograms.find("server.request_micros");
+  if (it != delta.histograms.end()) {
+    count = it->second.count;
+    p50 = it->second.ApproxPercentile(0.50);
+    p99 = it->second.ApproxPercentile(0.99);
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "stats window %" PRIu64 "s: requests=%" PRIu64
+                " accepted=%" PRIu64 " rejected=%" PRIu64
+                " deadline_exceeded=%" PRIu64 " http=%" PRIu64
+                " p50_us=%" PRIu64 " p99_us=%" PRIu64,
+                seconds, count, counter("server.requests_accepted"),
+                counter("server.requests_rejected"),
+                counter("server.deadline_exceeded"),
+                counter("server.http_requests"), p50, p99);
+  obs::LogInfo(buf);
 }
 
 Status Run(FlagParser& flags) {
   std::string col_path = flags.GetString("collection", "");
   std::string idx_path = flags.GetString("index", "");
   std::string port_file = flags.GetString("port-file", "");
+  std::string http_port_file = flags.GetString("http-port-file", "");
   bool use_disk = flags.GetBool("disk-index");
   server::ServerOptions options;
   options.bind_address = flags.GetString("host", "127.0.0.1");
@@ -70,6 +165,15 @@ Status Run(FlagParser& flags) {
       static_cast<uint32_t>(flags.GetInt("batch", 8));
   options.dispatcher.search_threads =
       static_cast<uint32_t>(flags.GetInt("search-threads", 1));
+  int64_t http_port = flags.GetInt("http-port", -1);  // -1 = no listener
+  obs::FlightRecorder::Options flight_options;
+  flight_options.slow_micros =
+      static_cast<uint64_t>(flags.GetInt("slow-ms", 250)) * 1000;
+  flight_options.capacity =
+      static_cast<size_t>(flags.GetInt("flight-capacity", 256));
+  flight_options.slow_capacity =
+      static_cast<size_t>(flags.GetInt("slow-capacity", 64));
+  int64_t stats_interval = flags.GetInt("stats-interval", 0);
   CAFE_RETURN_IF_ERROR(flags.Finish());
   if (col_path.empty() || idx_path.empty()) {
     return Status::InvalidArgument("--collection and --index are required");
@@ -93,27 +197,102 @@ Status Run(FlagParser& flags) {
   }
   PartitionedSearch engine(&*col, source);
 
+  WallTimer uptime;
+  obs::FlightRecorder flight(flight_options);
+  options.dispatcher.flight = &flight;
   server::Server server(&engine, options);
   CAFE_RETURN_IF_ERROR(server.Start());
-  std::printf("cafe_serve %s listening on %s:%u (%u sequences)\n",
-              kVersionString, options.bind_address.c_str(), server.port(),
-              col->NumSequences());
-  std::fflush(stdout);
-  if (!port_file.empty()) {
-    FILE* f = std::fopen(port_file.c_str(), "w");
-    if (f == nullptr) {
-      return Status::IOError("cannot write --port-file " + port_file);
+
+  obs::MetricsRegistry* metrics = server.metrics();
+  server::HttpOptions http_options;
+  http_options.bind_address = options.bind_address;
+  http_options.port = static_cast<uint16_t>(http_port < 0 ? 0 : http_port);
+  http_options.metrics = metrics;
+  server::HttpServer http(
+      [&](const std::string& path) {
+        server::HttpResponse response;
+        if (path == "/metrics") {
+          response.content_type =
+              "text/plain; version=0.0.4; charset=utf-8";
+          response.body = metrics->SnapshotPrometheus();
+        } else if (path == "/statusz") {
+          response.content_type = "application/json";
+          response.body = StatuszJson(server, http, flight, uptime,
+                                      col->NumSequences(), engine.name());
+        } else if (path == "/flightz") {
+          response.content_type = "application/json";
+          response.body = flight.RecentJson(flight.capacity());
+        } else if (path == "/slowz") {
+          response.content_type = "application/json";
+          response.body = flight.SlowJson(flight.capacity());
+        } else if (path == "/") {
+          response.body =
+              "cafe_serve introspection\n"
+              "/metrics  Prometheus text exposition\n"
+              "/statusz  server status (JSON)\n"
+              "/flightz  recent completed requests (JSON)\n"
+              "/slowz    pinned slow requests (JSON)\n";
+        } else {
+          response.status = 404;
+          response.body = "unknown path " + path + "\n";
+        }
+        return response;
+      },
+      http_options);
+  if (http_port >= 0) {
+    CAFE_RETURN_IF_ERROR(http.Start());
+    obs::LogInfo("introspection on http://" + options.bind_address + ":" +
+                 std::to_string(http.port()) +
+                 " (/metrics /statusz /flightz /slowz)");
+    if (!http_port_file.empty()) {
+      CAFE_RETURN_IF_ERROR(WritePortFile(http_port_file, http.port()));
     }
-    std::fprintf(f, "%u\n", server.port());
-    std::fclose(f);
+  }
+
+  obs::LogInfo(std::string("cafe_serve ") + kVersionString +
+               " listening on " + options.bind_address + ":" +
+               std::to_string(server.port()) + " (" +
+               std::to_string(col->NumSequences()) + " sequences)");
+  if (!port_file.empty()) {
+    CAFE_RETURN_IF_ERROR(WritePortFile(port_file, server.port()));
+  }
+
+  // Stats thread: every --stats-interval seconds, diff a fresh snapshot
+  // against the previous one and log the window. The cv lets shutdown
+  // interrupt the wait immediately.
+  std::mutex stats_mu;
+  std::condition_variable stats_cv;
+  bool stats_stop = false;
+  std::thread stats_thread;
+  if (stats_interval > 0) {
+    stats_thread = std::thread([&] {
+      obs::MetricsSnapshot baseline = metrics->SnapshotData();
+      std::unique_lock<std::mutex> lock(stats_mu);
+      while (!stats_cv.wait_for(lock,
+                                std::chrono::seconds(stats_interval),
+                                [&] { return stats_stop; })) {
+        obs::MetricsSnapshot current = metrics->SnapshotData();
+        LogStatsWindow(obs::MetricsRegistry::Delta(current, baseline),
+                       static_cast<uint64_t>(stats_interval));
+        baseline = std::move(current);
+      }
+    });
   }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   while (g_stop == 0) pause();  // signals interrupt pause()
 
-  std::printf("shutting down (draining in-flight requests)\n");
-  std::fflush(stdout);
+  obs::LogInfo("shutting down (draining in-flight requests)");
+  if (stats_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats_stop = true;
+    }
+    stats_cv.notify_all();
+    stats_thread.join();
+  }
+  http.Shutdown();
   server.Shutdown();
   return Status::OK();
 }
@@ -124,6 +303,7 @@ Status Run(FlagParser& flags) {
 int main(int argc, char** argv) {
   using namespace cafe;
   if (argc >= 2 && std::string(argv[1]) == "--version") {
+    // NOLINTNEXTLINE(cafe-no-raw-fprintf) — version query, not a log.
     std::printf("cafe_serve %s (protocol %u)\n", kVersionString,
                 server::kProtocolVersion);
     return 0;
@@ -131,7 +311,7 @@ int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   Status status = Run(flags);
   if (status.IsInvalidArgument()) {
-    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    obs::LogError(status.ToString());
     return Usage();
   }
   return status.ok() ? 0 : Fail(status);

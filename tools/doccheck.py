@@ -6,9 +6,14 @@ name. This check keeps that true in both directions, grep-style:
 
   code -> doc   every string literal passed to GetCounter("...") or
                 GetHistogram("...") under src/ and tools/ must appear
-                in docs/OBSERVABILITY.md
+                in docs/OBSERVABILITY.md — and so must the Prometheus
+                name it exports as on /metrics (`cafe_` prefix, dots to
+                underscores, `_total` suffix for counters; the mapping
+                in MetricsRegistry::SnapshotPrometheus)
   doc -> code   every metric name in the catalogue tables (rows of the
-                form `| `name` | ...`) must appear as such a literal
+                form `| `name` | ...`) must appear as such a literal,
+                and every documented Prometheus name (`cafe_...` in
+                backticks) must be one a code metric actually exports
 
 Usage: tools/doccheck.py [repo-root]      (exit 0 = consistent)
 """
@@ -17,12 +22,29 @@ import os
 import re
 import sys
 
-GET_RE = re.compile(r'Get(?:Counter|Histogram)\(\s*"([^"]+)"')
+GET_RE = re.compile(r'Get(Counter|Histogram)\(\s*"([^"]+)"')
 DOC_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+\.[a-z0-9_]+)`\s*\|")
+DOC_PROM_RE = re.compile(r"`(cafe_[a-z0-9_]+)`")
 DOC_PATH = "docs/OBSERVABILITY.md"
+
+# Backticked `cafe_*` words that are repo binaries / libraries / CMake
+# helpers, not Prometheus series claims.
+NON_METRIC_NAMES = frozenset({
+    "cafe_cli", "cafe_serve", "cafe_loadgen", "cafe_align",
+    "cafe_alphabet", "cafe_coding", "cafe_collection", "cafe_eval",
+    "cafe_index", "cafe_obs", "cafe_search", "cafe_seqstore",
+    "cafe_server", "cafe_sim", "cafe_util", "cafe_add_test",
+})
+
+
+def prometheus_name(metric, kind):
+    """Mirrors MetricsRegistry::SnapshotPrometheus's name mapping."""
+    base = "cafe_" + re.sub(r"[^a-zA-Z0-9_:]", "_", metric)
+    return base + "_total" if kind == "Counter" else base
 
 
 def code_metric_names(root):
+    """{dotted name: (kind, first file using it)}"""
     names = {}
     for top in ("src", "tools"):
         for dirpath, _, files in os.walk(os.path.join(root, top)):
@@ -31,8 +53,9 @@ def code_metric_names(root):
                     continue
                 path = os.path.join(dirpath, name)
                 with open(path, encoding="utf-8") as f:
-                    for metric in GET_RE.findall(f.read()):
-                        names.setdefault(metric, os.path.relpath(path, root))
+                    for kind, metric in GET_RE.findall(f.read()):
+                        names.setdefault(
+                            metric, (kind, os.path.relpath(path, root)))
     return names
 
 
@@ -55,16 +78,35 @@ def main():
     in_doc = doc_metric_names(doc_text)
     problems = []
 
+    exported = set()
+    for m, (kind, _) in in_code.items():
+        prom = prometheus_name(m, kind)
+        exported.add(prom)
+        if kind == "Histogram":
+            # The series a Prometheus histogram actually exposes.
+            exported.update(
+                {prom + "_bucket", prom + "_sum", prom + "_count"})
     for metric in sorted(in_code):
+        kind, where = in_code[metric]
         if f"`{metric}`" not in doc_text:
             problems.append(
-                f"{in_code[metric]}: metric {metric!r} is not documented "
+                f"{where}: metric {metric!r} is not documented "
                 f"in {DOC_PATH}")
+        prom = prometheus_name(metric, kind)
+        if f"`{prom}`" not in doc_text:
+            problems.append(
+                f"{where}: Prometheus name {prom!r} (for {metric!r}) is "
+                f"not documented in {DOC_PATH}")
     for metric in sorted(in_doc):
         if metric not in in_code:
             problems.append(
                 f"{DOC_PATH}: documents {metric!r} but no "
                 f"GetCounter/GetHistogram literal in src/ or tools/ uses it")
+    for prom in sorted(set(DOC_PROM_RE.findall(doc_text))):
+        if prom not in exported and prom not in NON_METRIC_NAMES:
+            problems.append(
+                f"{DOC_PATH}: documents Prometheus name {prom!r} but "
+                f"/metrics exports no such series")
 
     for p in problems:
         print(p)

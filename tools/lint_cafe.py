@@ -21,9 +21,19 @@ Checks that clang-tidy / compiler warnings cannot express:
   no-raw-socket   socket headers (sys/socket.h, netinet/*, arpa/inet.h,
                   netdb.h) only under src/server/ — the network edge
                   stays in one subsystem
+  no-raw-fprintf  no printf/fprintf logging in src/server/ or
+                  tools/cafe_serve.cc — the serving path logs through
+                  obs::Log (timestamp, severity, trace id), so server
+                  output is uniformly greppable and joinable with the
+                  flight recorder (snprintf formatting is fine)
 
-A finding on a line containing `NOLINT(cafe-<rule>)` is suppressed; use
-this only with a comment explaining why the exception is sound.
+Files under tools/ are binaries, not library code; only the fprintf
+rule applies there, and only to cafe_serve.cc (the long-running
+daemon — one-shot CLI tools print to stdout by design).
+
+A finding on a line containing `NOLINT(cafe-<rule>)` — or directly
+below a `NOLINTNEXTLINE(cafe-<rule>)` line — is suppressed; use this
+only with a comment explaining why the exception is sound.
 
 Usage: tools/lint_cafe.py [repo-root]     (exit 0 = clean, 1 = findings)
        tools/lint_cafe.py --selftest      (verify every rule fires and
@@ -41,6 +51,7 @@ RULE_ASSERT = "cafe-no-raw-assert"
 RULE_THREAD = "cafe-no-std-thread"
 RULE_CHRONO = "cafe-no-adhoc-chrono"
 RULE_SOCKET = "cafe-no-raw-socket"
+RULE_FPRINTF = "cafe-no-raw-fprintf"
 
 THROW_RE = re.compile(r"\bthrow\b")
 # `new X`, `new (nothrow) X`, `new X[...]`; `delete p`, `delete[] p`.
@@ -50,6 +61,9 @@ ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 THREAD_RE = re.compile(r"\bstd::thread\b")
 CHRONO_RE = re.compile(r"\bstd::chrono\b")
 SOCKET_RE = re.compile(r"#\s*include\s*<(sys/socket|netinet/|arpa/inet|netdb)")
+# printf/fprintf calls (with or without std::). The lookbehind keeps
+# snprintf/vfprintf (formatting, not output) from matching.
+FPRINTF_RE = re.compile(r"(?<!\w)(?:std::)?f?printf\s*\(")
 
 
 def strip_code_noise(line):
@@ -99,8 +113,12 @@ def lint_lines(relpath, lines, findings):
                                     "src/server/"))
     socket_ok = relpath.startswith("src/server/")
     chrono_scoped = relpath.startswith(("src/search/", "src/index/"))
+    fprintf_scoped = (relpath.startswith("src/server/")
+                      or relpath == "tools/cafe_serve.cc")
+    # tools/ entries are binaries; only the fprintf rule applies there.
+    tools_file = not relpath.startswith("src/")
 
-    if is_header:
+    if is_header and not tools_file:
         want = expected_guard(relpath)
         guard = None
         for ln in lines:
@@ -114,6 +132,7 @@ def lint_lines(relpath, lines, findings):
                  f"include guard is {guard!r}, expected {want!r}"))
 
     in_block_comment = False
+    prev_raw = ""
     for lineno, raw in enumerate(lines, start=1):
         line = raw
         if in_block_comment:
@@ -139,7 +158,17 @@ def lint_lines(relpath, lines, findings):
         def report(rule, message):
             if f"NOLINT({rule})" in raw:
                 return
+            if f"NOLINTNEXTLINE({rule})" in prev_raw:
+                return
             findings.append((relpath, lineno, rule, message))
+
+        if FPRINTF_RE.search(code) and fprintf_scoped:
+            report(RULE_FPRINTF,
+                   "raw printf/fprintf in the serving path; log through "
+                   "obs::Log (src/obs/log.h)")
+        if tools_file:
+            prev_raw = raw
+            continue  # only the fprintf rule applies outside src/
 
         if THROW_RE.search(code):
             report(RULE_THROW,
@@ -164,6 +193,7 @@ def lint_lines(relpath, lines, findings):
             report(RULE_SOCKET,
                    "socket headers outside src/server/; the network "
                    "edge lives in the server subsystem")
+        prev_raw = raw
 
 
 # (file, line, rule that must fire — or None for must-stay-clean).
@@ -204,6 +234,25 @@ SELFTEST_CASES = [
     ("src/a/b.cc", "std::thread t;  // NOLINT(cafe-no-std-thread)", None),
     ("src/search/x.cc",
      "std::chrono::seconds s(1);  // NOLINT(cafe-no-adhoc-chrono)", None),
+    ("src/server/server.cc", 'std::fprintf(stderr, "x\\n");',
+     RULE_FPRINTF),
+    ("src/server/http.cc", 'printf("x\\n");', RULE_FPRINTF),
+    ("tools/cafe_serve.cc", 'std::fprintf(stderr, "x\\n");',
+     RULE_FPRINTF),
+    # snprintf is formatting, not output.
+    ("src/server/server.cc", "std::snprintf(buf, sizeof(buf), \"x\");",
+     None),
+    # Out of scope: library code away from the serving path, and
+    # one-shot CLI tools, may print.
+    ("src/obs/metrics.cc", 'std::fprintf(stderr, "x\\n");', None),
+    ("tools/cafe_cli.cc", 'std::printf("x\\n");', None),
+    # Only the fprintf rule applies to tools/ files.
+    ("tools/cafe_serve.cc", "std::thread t(run);", None),
+    ("src/server/server.cc",
+     'std::fprintf(f, "%u", p);  // NOLINT(cafe-no-raw-fprintf)', None),
+    ("tools/cafe_serve.cc",
+     "// NOLINTNEXTLINE(cafe-no-raw-fprintf) — data file, not a log.\n"
+     'std::fprintf(f, "%u", p);', None),
 ]
 
 
@@ -211,7 +260,7 @@ def selftest():
     failures = []
     for i, (relpath, line, want_rule) in enumerate(SELFTEST_CASES):
         findings = []
-        lint_lines(relpath, [line], findings)
+        lint_lines(relpath, line.split("\n"), findings)
         rules = [f[2] for f in findings]
         if want_rule is None and rules:
             failures.append(f"case {i} ({line!r}): unexpected {rules}")
@@ -235,6 +284,9 @@ def main():
             if name.endswith((".h", ".cc")):
                 rel = os.path.relpath(os.path.join(dirpath, name), root)
                 targets.append(rel.replace(os.sep, "/"))
+    # The long-running daemon is held to the structured-logging rule.
+    if os.path.exists(os.path.join(root, "tools", "cafe_serve.cc")):
+        targets.append("tools/cafe_serve.cc")
     targets.sort()
 
     findings = []

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Validator for the Prometheus text exposition format (version 0.0.4).
+
+Checks what a scraper would choke on, so /metrics stays scrapeable
+without running Prometheus in CI:
+
+  - every non-comment line parses as `name{labels} value`
+    (metric names [a-zA-Z_:][a-zA-Z0-9_:]*, label values quoted,
+    values int/float/+Inf/-Inf/NaN)
+  - every sample family is preceded by exactly one `# TYPE` line, and
+    sample names match the declared family (`_total` for counters;
+    `_bucket`/`_sum`/`_count` for histograms)
+  - histogram buckets carry `le` labels, counts are cumulative
+    (non-decreasing in le order), the `+Inf` bucket exists and equals
+    `_count`
+  - no duplicate sample (same name + label set)
+
+Usage: tools/promcheck.py FILE        (`-` = stdin; exit 0 = valid)
+       tools/promcheck.py --selftest  (verify the checker itself)
+"""
+
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+TYPE_RE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram|summary|untyped)$")
+HELP_RE = re.compile(rf"^# HELP ({NAME}) ")
+SAMPLE_RE = re.compile(
+    rf"^({NAME})(\{{[^{{}}]*\}})?\s+(-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+    rf"|[+-]Inf|NaN)(?:\s+-?\d+)?$")
+LABELS_RE = re.compile(rf'({NAME})="((?:[^"\\]|\\.)*)"')
+
+
+def parse_labels(text):
+    """'{a="x",b="y"}' -> dict; None on malformed label syntax."""
+    if not text:
+        return {}
+    body = text[1:-1].strip()
+    if not body:
+        return {}
+    labels = {}
+    rest = body
+    while rest:
+        m = LABELS_RE.match(rest)
+        if not m:
+            return None
+        labels[m.group(1)] = m.group(2)
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            return None
+    return labels
+
+
+def family_of(sample_name, types):
+    """The declared family a sample name belongs to, or None."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if sample_name.endswith(suffix):
+            base = sample_name[:-len(suffix)]
+            if base in types:
+                return base
+    return None
+
+
+def check(text):
+    """Returns a list of problem strings (empty = valid exposition)."""
+    problems = []
+    types = {}
+    seen = set()
+    # family -> list of (le value, count) for histogram buckets, and
+    # the _count sample value, checked at the end.
+    buckets = {}
+    counts = {}
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m:
+                name, kind = m.group(1), m.group(2)
+                if name in types:
+                    problems.append(f"line {lineno}: duplicate TYPE for {name}")
+                types[name] = kind
+                continue
+            if HELP_RE.match(line) or line.startswith("# "):
+                continue
+            problems.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, label_text, value = m.group(1), m.group(2), m.group(3)
+        labels = parse_labels(label_text)
+        if labels is None:
+            problems.append(f"line {lineno}: malformed labels: {line!r}")
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            problems.append(f"line {lineno}: duplicate sample {name}{label_text or ''}")
+        seen.add(key)
+
+        family = family_of(name, types)
+        if family is None:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE line")
+            continue
+        kind = types[family]
+        if kind == "counter" and name != family:
+            problems.append(
+                f"line {lineno}: counter family {family!r} has stray "
+                f"sample {name!r}")
+        if kind == "histogram":
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le label")
+                else:
+                    le = (float("inf") if labels["le"] == "+Inf"
+                          else float(labels["le"]))
+                    buckets.setdefault(family, []).append(
+                        (lineno, le, float(value)))
+            elif name == family + "_count":
+                counts[family] = float(value)
+            elif name != family + "_sum":
+                problems.append(
+                    f"line {lineno}: histogram family {family!r} has "
+                    f"stray sample {name!r}")
+
+    for family, rows in sorted(buckets.items()):
+        prev = -1.0
+        for lineno, le, count in rows:  # exposition order
+            if count < prev:
+                problems.append(
+                    f"line {lineno}: {family} buckets not cumulative "
+                    f"(le={le}: {count} < {prev})")
+            prev = count
+        inf_rows = [c for _, le, c in rows if le == float("inf")]
+        if not inf_rows:
+            problems.append(f"{family}: no +Inf bucket")
+        elif family in counts and inf_rows[-1] != counts[family]:
+            problems.append(
+                f"{family}: +Inf bucket {inf_rows[-1]} != _count "
+                f"{counts[family]}")
+        if family not in counts:
+            problems.append(f"{family}: histogram without _count sample")
+
+    return problems
+
+
+SELFTEST_CASES = [
+    # (exposition text, expected problem count)
+    ("# TYPE cafe_x_total counter\ncafe_x_total 5\n", 0),
+    ("# TYPE cafe_h histogram\n"
+     'cafe_h_bucket{le="1"} 2\n'
+     'cafe_h_bucket{le="+Inf"} 3\n'
+     "cafe_h_sum 9\n"
+     "cafe_h_count 3\n", 0),
+    # Missing TYPE line.
+    ("cafe_x_total 5\n", 1),
+    # Unparseable sample.
+    ("# TYPE cafe_x_total counter\ncafe_x_total five\n", 1),
+    # Duplicate sample.
+    ("# TYPE cafe_x_total counter\ncafe_x_total 5\ncafe_x_total 6\n", 1),
+    # Non-cumulative buckets.
+    ("# TYPE cafe_h histogram\n"
+     'cafe_h_bucket{le="1"} 5\n'
+     'cafe_h_bucket{le="+Inf"} 3\n'
+     "cafe_h_sum 9\n"
+     "cafe_h_count 3\n", 1),
+    # +Inf bucket disagrees with _count.
+    ("# TYPE cafe_h histogram\n"
+     'cafe_h_bucket{le="+Inf"} 4\n'
+     "cafe_h_sum 9\n"
+     "cafe_h_count 3\n", 1),
+    # No +Inf bucket.
+    ("# TYPE cafe_h histogram\n"
+     'cafe_h_bucket{le="1"} 2\n'
+     "cafe_h_sum 9\n"
+     "cafe_h_count 3\n", 1),
+    # Bucket without le.
+    ("# TYPE cafe_h histogram\n"
+     "cafe_h_bucket 2\n"
+     'cafe_h_bucket{le="+Inf"} 2\n'
+     "cafe_h_sum 9\n"
+     "cafe_h_count 2\n", 1),
+    # Malformed labels.
+    ("# TYPE cafe_x_total counter\n"
+     'cafe_x_total{bad} 5\n', 1),
+    # Stray sample name inside a counter family.
+    ("# TYPE cafe_y counter\n"
+     "cafe_y_count 5\n", 1),
+    # Duplicate TYPE line.
+    ("# TYPE cafe_x_total counter\n"
+     "# TYPE cafe_x_total counter\n"
+     "cafe_x_total 5\n", 1),
+]
+
+
+def selftest():
+    failures = []
+    for i, (text, want) in enumerate(SELFTEST_CASES):
+        got = check(text)
+        if len(got) != want:
+            failures.append(f"case {i}: expected {want} problem(s), "
+                            f"got {len(got)}: {got}")
+    for failure in failures:
+        print(f"selftest: {failure}")
+    print(f"promcheck --selftest: {len(SELFTEST_CASES)} cases, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--selftest":
+        return selftest()
+    if len(sys.argv) != 2:
+        print(__doc__.strip().split("\n")[-2].strip())
+        return 2
+    if sys.argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            text = f.read()
+    problems = check(text)
+    for p in problems:
+        print(p)
+    print(f"promcheck: {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
