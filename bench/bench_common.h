@@ -68,6 +68,41 @@ inline void PrintHeader(const char* experiment, const char* claim) {
   std::printf("reproduces: %s\n\n", claim);
 }
 
+/// Machine-readable result document for the CI bench gate
+/// (tools/benchgate.py): {"bench": <name>, "metrics": {name: value}}.
+/// Gate metrics should be within-run ratios or deterministic counters —
+/// stable across machines — not absolute wall-clock times.
+class JsonMetrics {
+ public:
+  explicit JsonMetrics(const char* bench) {
+    doc_ = std::string("{\"bench\":\"") + bench + "\",\"metrics\":{";
+  }
+
+  void Add(const char* name, double value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.6g", first_ ? "" : ",",
+                  name, value);
+    doc_ += buf;
+    first_ = false;
+  }
+
+  /// Writes the document to `out_path`, or stdout when the path is
+  /// empty. Call at most once.
+  void Emit(const std::string& out_path) {
+    doc_ += "}}\n";
+    if (!out_path.empty()) {
+      Unwrap(WriteStringToFile(out_path, doc_), "benchmark_out");
+      std::printf("\nwrote JSON to %s\n", out_path.c_str());
+    } else {
+      std::printf("%s", doc_.c_str());
+    }
+  }
+
+ private:
+  std::string doc_;
+  bool first_ = true;
+};
+
 inline void PrintCollectionLine(const SequenceCollection& col) {
   std::printf("collection: %u sequences, %s bases\n\n", col.NumSequences(),
               WithCommas(col.TotalBases()).c_str());

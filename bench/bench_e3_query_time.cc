@@ -19,12 +19,18 @@
 #include "search/exhaustive.h"
 #include "search/fasta_like.h"
 #include "search/partitioned.h"
+#include "util/flags.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace cafe;
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool json = flags.GetString("benchmark_format", "console") == "json";
+  const std::string out_path = flags.GetString("benchmark_out", "");
+  bench::Unwrap(flags.Finish(), "flags");
+
   bench::PrintHeader(
       "E3: query evaluation time vs exhaustive search",
       "\"queries can be evaluated several times more quickly than with "
@@ -99,6 +105,8 @@ int main() {
   exhaustive_ms = batches.back().mean_query_seconds * 1e3;
 
   const eval::BatchResult& oracle = batches.back();
+  std::vector<double> speedups(rows.size());
+  std::vector<uint32_t> agreements(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     const eval::BatchResult& b = batches[i];
     double ms = b.mean_query_seconds * 1e3;
@@ -109,6 +117,8 @@ int main() {
         ++agree;
       }
     }
+    speedups[i] = exhaustive_ms / ms;
+    agreements[i] = agree;
     table.AddRow(
         {rows[i].label, FormatDouble(ms, 1),
          FormatDouble(exhaustive_ms / ms, 1) + "x",
@@ -192,6 +202,23 @@ int main() {
   }
   std::printf("ranked results identical across thread counts: %s\n",
               identical ? "yes" : "NO — BUG");
+
+  // Gate metrics for tools/benchgate.py: within-run speedups over the
+  // exhaustive oracle and answer-quality ratios — stable across
+  // machines, unlike absolute per-query times.
+  if (json || !out_path.empty()) {
+    bench::JsonMetrics doc("e3_query_time");
+    const double nq_d = static_cast<double>(queries.size());
+    doc.Add("speedup_partitioned_diagonal", speedups[0]);
+    doc.Add("speedup_partitioned_disk", speedups[1]);
+    doc.Add("speedup_partitioned_hitcount", speedups[2]);
+    doc.Add("speedup_blast_like", speedups[3]);
+    doc.Add("speedup_fasta_like", speedups[4]);
+    doc.Add("agreement_partitioned_diagonal", agreements[0] / nq_d);
+    doc.Add("agreement_partitioned_disk", agreements[1] / nq_d);
+    doc.Add("threads_identical", identical ? 1.0 : 0.0);
+    doc.Emit(out_path);
+  }
 
   std::printf(
       "\nshape check: partitioned search is several times faster than the "

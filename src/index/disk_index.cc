@@ -103,14 +103,14 @@ Status DiskIndex::FetchTermBytes(
     uint64_t* first_byte_out) const {
   auto it = cache_.find(term);
   if (it != cache_.end()) {
-    ++cache_stats_.hits;
+    cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
     if (metric_hits_ != nullptr) metric_hits_->Add(1);
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     *out = it->second.bytes;
     *first_byte_out = it->second.first_byte;
     return Status::OK();
   }
-  ++cache_stats_.misses;
+  cache_stats_.misses.fetch_add(1, std::memory_order_relaxed);
   if (metric_misses_ != nullptr) metric_misses_->Add(1);
 
   auto len_it = bit_lengths_.find(term);
@@ -135,25 +135,30 @@ Status DiskIndex::FetchTermBytes(
   if (!file_) {
     return Status::IOError("disk index: postings read failed");
   }
-  cache_stats_.bytes_read += cache_entry.bytes->size();
+  cache_stats_.bytes_read.fetch_add(cache_entry.bytes->size(),
+                                    std::memory_order_relaxed);
   if (metric_bytes_read_ != nullptr) {
     metric_bytes_read_->Add(cache_entry.bytes->size());
   }
 
   // Insert and evict.
-  cache_bytes_ += cache_entry.bytes->size();
+  cache_bytes_.fetch_add(cache_entry.bytes->size(),
+                         std::memory_order_relaxed);
   lru_.push_front(term);
   cache_entry.lru_it = lru_.begin();
   *out = cache_entry.bytes;
   *first_byte_out = first_byte;
   cache_.emplace(term, std::move(cache_entry));
-  while (cache_bytes_ > cache_capacity_bytes_ && lru_.size() > 1) {
+  while (cache_bytes_.load(std::memory_order_relaxed) >
+             cache_capacity_bytes_ &&
+         lru_.size() > 1) {
     uint32_t victim = lru_.back();
     lru_.pop_back();
     auto vit = cache_.find(victim);
-    cache_bytes_ -= vit->second.bytes->size();
+    cache_bytes_.fetch_sub(vit->second.bytes->size(),
+                           std::memory_order_relaxed);
     cache_.erase(vit);
-    ++cache_stats_.evictions;
+    cache_stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     if (metric_evictions_ != nullptr) metric_evictions_->Add(1);
   }
   return Status::OK();
@@ -197,8 +202,8 @@ void DiskIndex::ScanPostings(uint32_t term,
 }
 
 uint64_t DiskIndex::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return directory_.MemoryBytes() + cache_bytes_ +
+  return directory_.MemoryBytes() +
+         cache_bytes_.load(std::memory_order_relaxed) +
          bit_lengths_.size() * 16;
 }
 

@@ -16,13 +16,16 @@
 // are safe for concurrent use. File reads and cache bookkeeping are
 // serialized behind an internal mutex; cached list bytes are
 // shared_ptr-owned so decoding proceeds outside the lock even if the
-// entry is evicted concurrently. cache_stats()/MemoryBytes() return a
-// consistent snapshot but should be read when no queries are in flight
-// if exact totals matter.
+// entry is evicted concurrently. cache_stats()/MemoryBytes() never
+// touch that mutex: the stats are relaxed atomics (the striped-counter
+// pattern of obs/metrics.h), so a stats poller cannot stall the query
+// hot path — the numbers are point-in-time-ish, exact once queries
+// quiesce.
 
 #ifndef CAFE_INDEX_DISK_INDEX_H_
 #define CAFE_INDEX_DISK_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <list>
@@ -67,9 +70,18 @@ class DiskIndex final : public PostingSource {
 
   const std::vector<uint32_t>& doc_lengths() const { return doc_lengths_; }
   const IndexStats& stats() const { return stats_; }
+
+  /// Lock-free snapshot (relaxed loads) — safe to poll from a stats
+  /// thread while queries are in flight.
   CacheStats cache_stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return cache_stats_;
+    CacheStats out;
+    out.hits = cache_stats_.hits.load(std::memory_order_relaxed);
+    out.misses = cache_stats_.misses.load(std::memory_order_relaxed);
+    out.bytes_read =
+        cache_stats_.bytes_read.load(std::memory_order_relaxed);
+    out.evictions =
+        cache_stats_.evictions.load(std::memory_order_relaxed);
+    return out;
   }
 
   /// Mirrors cache activity into `registry` from this call on, under the
@@ -79,7 +91,8 @@ class DiskIndex final : public PostingSource {
   /// (the default) the hot path pays only a null check.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
-  /// Resident bytes: directory + current cache contents.
+  /// Resident bytes: directory + current cache contents. Lock-free
+  /// (relaxed load of the cache byte count).
   uint64_t MemoryBytes() const;
 
  private:
@@ -114,15 +127,25 @@ class DiskIndex final : public PostingSource {
   // term order, so lengths are differences).
   std::unordered_map<uint32_t, uint64_t> bit_lengths_;
 
-  // LRU cache over term byte ranges. mu_ guards the file stream, the
-  // cache structures and the stats; postings decoding happens outside
-  // the lock on the fetched bytes.
+  // Stats counters are relaxed atomics so cache_stats()/MemoryBytes()
+  // read them without mu_ — writers bump them while holding the lock,
+  // readers never take it (the obs/metrics.cc pattern).
+  struct AtomicCacheStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+
+  // LRU cache over term byte ranges. mu_ guards the file stream and
+  // the cache structures; postings decoding happens outside the lock
+  // on the fetched bytes.
   mutable std::mutex mu_;
   size_t cache_capacity_bytes_;
-  mutable size_t cache_bytes_ = 0;
+  mutable std::atomic<size_t> cache_bytes_{0};
   mutable std::list<uint32_t> lru_;  // front = most recently used
   mutable std::unordered_map<uint32_t, CacheEntry> cache_;
-  mutable CacheStats cache_stats_;
+  mutable AtomicCacheStats cache_stats_;
 
   // Optional registry mirror (see AttachMetrics); written under mu_.
   obs::Counter* metric_hits_ = nullptr;

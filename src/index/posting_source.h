@@ -1,11 +1,14 @@
 // PostingSource: the interface the coarse search phase consumes.
 //
-// Two implementations exist: InvertedIndex (everything resident in
-// memory) and DiskIndex (directory in memory, postings read from disk on
-// demand with an LRU cache) — the configuration the CAFE system actually
-// shipped, where the index is much larger than main memory and "index-
-// based approaches do not rely on the entire collection fitting into
-// main memory".
+// Three implementations exist: InvertedIndex (everything resident in
+// memory), DiskIndex (directory in memory, postings read from disk on
+// demand with a mutexed LRU cache — the cached reference path), and
+// MmapIndex (directory in memory, postings decoded zero-copy out of a
+// read-only mapping, no lock) — the configuration the CAFE system
+// actually shipped, where the index is much larger than main memory
+// and "index-based approaches do not rely on the entire collection
+// fitting into main memory". Tools select between them with
+// --index-mode=memory|cached|mmap.
 
 #ifndef CAFE_INDEX_POSTING_SOURCE_H_
 #define CAFE_INDEX_POSTING_SOURCE_H_
@@ -39,9 +42,10 @@ class PostingSource {
   /// Streams the postings of `term` through `fn`; no-op for unindexed
   /// terms. Implementations must be safe for concurrent calls from
   /// multiple search threads — the parallel query layer (BatchSearch)
-  /// issues coarse-phase scans from every worker. InvertedIndex decodes
-  /// with thread-local scratch; DiskIndex serializes its file reads and
-  /// cache updates behind a mutex and decodes outside the lock.
+  /// issues coarse-phase scans from every worker. InvertedIndex and
+  /// MmapIndex decode with thread-local scratch over immutable bytes
+  /// (no lock anywhere); DiskIndex serializes its file reads and cache
+  /// updates behind a mutex and decodes outside the lock.
   virtual void ScanPostings(uint32_t term, const PostingCallback& fn)
       const = 0;
 };

@@ -1,30 +1,163 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define CAFE_CRC32_PCLMUL 1
+#endif
 
 namespace cafe {
 namespace {
 
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8 tables: table[0] is the classic bytewise table for the
+// IEEE 802.3 polynomial; table[s][b] is the CRC of byte b followed by
+// s zero bytes. Eight table lookups then advance the CRC eight input
+// bytes per iteration. This is the portable path and the tail handler;
+// every index open checksums the whole file before serving from it, so
+// the bulk of the work goes through the carryless-multiply kernel below
+// when the CPU has one.
+std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> table{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    table[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = table[0][i];
+    for (size_t s = 1; s < 8; ++s) {
+      c = table[0][c & 0xFF] ^ (c >> 8);
+      table[s][i] = c;
+    }
   }
   return table;
 }
 
+#if defined(CAFE_CRC32_PCLMUL)
+
+// Folding constants for the reflected CRC-32 polynomial 0xEDB88320,
+// from Intel's "Fast CRC Computation Using PCLMULQDQ" (the same values
+// zlib and Chromium ship): x^(576..64) mod P and the Barrett pair.
+alignas(16) const uint64_t kFold512[2] = {0x0154442bd4, 0x01c6e41596};
+alignas(16) const uint64_t kFold128[2] = {0x01751997d0, 0x00ccaa009e};
+alignas(16) const uint64_t kFold64[2] = {0x0163cd6124, 0x0000000000};
+alignas(16) const uint64_t kBarrett[2] = {0x01db710641, 0x01f7011641};
+
+/// Carryless-multiply CRC over `size` bytes (size >= 64 and a multiple
+/// of 16). Takes and returns the raw (pre-final-xor) CRC register.
+__attribute__((target("pclmul,sse4.1"))) uint32_t Crc32Pclmul(
+    const uint8_t* p, size_t size, uint32_t crc) {
+  const __m128i* buf = reinterpret_cast<const __m128i*>(p);
+  __m128i x1 = _mm_loadu_si128(buf + 0);
+  __m128i x2 = _mm_loadu_si128(buf + 1);
+  __m128i x3 = _mm_loadu_si128(buf + 2);
+  __m128i x4 = _mm_loadu_si128(buf + 3);
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  __m128i k = _mm_load_si128(reinterpret_cast<const __m128i*>(kFold512));
+  buf += 4;
+  size -= 64;
+
+  // Fold four 128-bit lanes in parallel, 64 input bytes per step.
+  while (size >= 64) {
+    __m128i x5 = _mm_clmulepi64_si128(x1, k, 0x00);
+    __m128i x6 = _mm_clmulepi64_si128(x2, k, 0x00);
+    __m128i x7 = _mm_clmulepi64_si128(x3, k, 0x00);
+    __m128i x8 = _mm_clmulepi64_si128(x4, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), _mm_loadu_si128(buf + 0));
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, x6), _mm_loadu_si128(buf + 1));
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, x7), _mm_loadu_si128(buf + 2));
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, x8), _mm_loadu_si128(buf + 3));
+    buf += 4;
+    size -= 64;
+  }
+
+  // Fold the four lanes into one, then any remaining 16-byte blocks.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kFold128));
+  __m128i x5 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), x2);
+  x5 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), x3);
+  x5 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), x4);
+  while (size >= 16) {
+    x5 = _mm_clmulepi64_si128(x1, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), _mm_loadu_si128(buf));
+    buf += 1;
+    size -= 16;
+  }
+
+  // Reduce 128 -> 64 bits.
+  const __m128i mask = _mm_setr_epi32(~0, 0, ~0, 0);
+  __m128i t = _mm_clmulepi64_si128(x1, k, 0x10);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, t);
+  k = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(kFold64));
+  t = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+
+  // Barrett reduction 64 -> 32 bits.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kBarrett));
+  t = _mm_and_si128(x1, mask);
+  t = _mm_clmulepi64_si128(t, k, 0x10);
+  t = _mm_and_si128(t, mask);
+  t = _mm_clmulepi64_si128(t, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+  return static_cast<uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+bool HavePclmul() {
+  return __builtin_cpu_supports("pclmul") &&
+         __builtin_cpu_supports("sse4.1");
+}
+
+#endif  // CAFE_CRC32_PCLMUL
+
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
-  static const std::array<uint32_t, 256> table = MakeTable();
+  static const std::array<std::array<uint32_t, 256>, 8> table = MakeTables();
   const uint8_t* p = static_cast<const uint8_t*>(data);
   uint32_t c = seed ^ 0xFFFFFFFFu;
+#if defined(CAFE_CRC32_PCLMUL)
+  static const bool have_pclmul = HavePclmul();
+  if (have_pclmul && size >= 64) {
+    const size_t folded = size & ~size_t{15};
+    c = Crc32Pclmul(p, folded, c);
+    p += folded;
+    size -= folded;
+  }
+#endif
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= c;
+    const uint32_t lo = static_cast<uint32_t>(word);
+    const uint32_t hi = static_cast<uint32_t>(word >> 32);
+    c = table[7][lo & 0xFF] ^ table[6][(lo >> 8) & 0xFF] ^
+        table[5][(lo >> 16) & 0xFF] ^ table[4][lo >> 24] ^
+        table[3][hi & 0xFF] ^ table[2][(hi >> 8) & 0xFF] ^
+        table[1][(hi >> 16) & 0xFF] ^ table[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+#endif
   for (size_t i = 0; i < size; ++i) {
-    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    c = table[0][(c ^ p[i]) & 0xFF] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the bench JSON documents.
+
+The benches emit machine-readable results with --benchmark_format=json
+(bench/bench_e9_readpath.cc, bench/bench_e3_query_time.cc):
+
+  {"bench": "e9_readpath", "metrics": {"cold_start_speedup": 2.1, ...}}
+
+Committed baselines under bench/baselines/ record, per metric, the
+expected value and how to compare against it:
+
+  {"bench": "e9_readpath",
+   "metrics": {
+     "cold_start_speedup": {"value": 2.1, "direction": "higher",
+                            "tolerance": 0.15},
+     "readpaths_agree":    {"value": 1.0, "direction": "higher",
+                            "tolerance": 0.0, "min": 1.0}}}
+
+A "higher"-direction metric fails when the run drops more than
+`tolerance` (relative) below the baseline value; "lower" fails when it
+rises more than `tolerance` above. An optional "min"/"max" adds an
+absolute floor/ceiling that fails regardless of the baseline — for
+hard invariants like "the two read paths decoded identical postings".
+Gated metrics should be within-run ratios or deterministic counters,
+which are stable across machines; absolute wall-clock times belong in
+the JSON for humans but not in the baseline.
+
+Usage:
+  tools/benchgate.py --run RUN.json --baseline BASELINE.json
+  tools/benchgate.py --run RUN.json --baseline BASELINE.json --update
+  tools/benchgate.py --selftest
+
+Exit 0 = within tolerance. On failure, either fix the regression or —
+if the new numbers are the intended state of the world — refresh the
+baseline with --update and commit the result.
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_metric(name, spec, run_value):
+    """Returns (ok, detail) for one metric."""
+    base = float(spec["value"])
+    direction = spec.get("direction", "higher")
+    tolerance = float(spec.get("tolerance", 0.15))
+    if direction not in ("higher", "lower"):
+        return False, f"baseline has bad direction {direction!r}"
+
+    if direction == "higher":
+        bound = base * (1.0 - tolerance)
+        ok = run_value >= bound
+        detail = f"{run_value:.4g} vs >= {bound:.4g} (base {base:.4g})"
+    else:
+        bound = base * (1.0 + tolerance)
+        ok = run_value <= bound
+        detail = f"{run_value:.4g} vs <= {bound:.4g} (base {base:.4g})"
+
+    if ok and "min" in spec and run_value < float(spec["min"]):
+        ok = False
+        detail += f", below hard min {float(spec['min']):.4g}"
+    if ok and "max" in spec and run_value > float(spec["max"]):
+        ok = False
+        detail += f", above hard max {float(spec['max']):.4g}"
+    return ok, detail
+
+
+def compare(run, baseline):
+    """Returns (failures, report_lines) for a run against a baseline."""
+    failures = []
+    lines = []
+    run_metrics = run.get("metrics", {})
+    base_metrics = baseline.get("metrics", {})
+    if run.get("bench") != baseline.get("bench"):
+        failures.append("bench name mismatch: run %r vs baseline %r" % (
+            run.get("bench"), baseline.get("bench")))
+
+    width = max((len(n) for n in base_metrics), default=10)
+    for name, spec in sorted(base_metrics.items()):
+        if name not in run_metrics:
+            failures.append(f"metric {name} missing from run output")
+            lines.append(f"  {name:<{width}}  MISSING")
+            continue
+        ok, detail = check_metric(name, spec, float(run_metrics[name]))
+        verdict = "ok" if ok else "FAIL"
+        lines.append(f"  {name:<{width}}  {verdict:<4}  {detail}")
+        if not ok:
+            failures.append(f"metric {name} out of tolerance: {detail}")
+    for name in sorted(set(run_metrics) - set(base_metrics)):
+        lines.append(f"  {name:<{width}}  ----  not gated "
+                     f"({float(run_metrics[name]):.4g})")
+    return failures, lines
+
+
+def update_baseline(run, baseline):
+    """Rewrites baseline values from the run, keeping the comparison
+    policy (direction/tolerance/min/max) of each existing metric."""
+    run_metrics = run.get("metrics", {})
+    for name, spec in baseline.get("metrics", {}).items():
+        if name in run_metrics:
+            spec["value"] = float(run_metrics[name])
+    baseline["bench"] = run.get("bench", baseline.get("bench"))
+    return baseline
+
+
+def selftest():
+    base = {
+        "bench": "t",
+        "metrics": {
+            "speedup": {"value": 2.0, "direction": "higher",
+                        "tolerance": 0.15},
+            "latency": {"value": 10.0, "direction": "lower",
+                        "tolerance": 0.10},
+            "agree": {"value": 1.0, "direction": "higher",
+                      "tolerance": 0.0, "min": 1.0},
+        },
+    }
+
+    def run_with(**metrics):
+        return {"bench": "t", "metrics": metrics}
+
+    cases = [
+        # (run metrics, expected number of failures)
+        (run_with(speedup=2.0, latency=10.0, agree=1.0), 0),
+        (run_with(speedup=1.71, latency=10.9, agree=1.0), 0),  # in tolerance
+        (run_with(speedup=1.69, latency=10.0, agree=1.0), 1),  # too slow
+        (run_with(speedup=2.0, latency=11.1, agree=1.0), 1),   # too high
+        (run_with(speedup=2.0, latency=10.0, agree=0.0), 1),   # hard min
+        (run_with(speedup=2.0, latency=10.0), 1),              # missing
+        (run_with(speedup=9.0, latency=1.0, agree=1.0, extra=5.0), 0),
+    ]
+    for i, (run, want) in enumerate(cases):
+        failures, _ = compare(run, json.loads(json.dumps(base)))
+        if len(failures) != want:
+            print(f"selftest case {i}: want {want} failures, "
+                  f"got {failures}")
+            return 1
+
+    updated = update_baseline(run_with(speedup=3.0, latency=5.0, agree=1.0),
+                              json.loads(json.dumps(base)))
+    if updated["metrics"]["speedup"]["value"] != 3.0 or \
+       updated["metrics"]["speedup"]["tolerance"] != 0.15:
+        print("selftest: update_baseline broke value or policy")
+        return 1
+    print("benchgate selftest: ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run", help="bench JSON output to check")
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baseline values from the run")
+    parser.add_argument("--selftest", action="store_true")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.run or not args.baseline:
+        parser.error("--run and --baseline are required (or --selftest)")
+
+    with open(args.run) as f:
+        run = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.update:
+        updated = update_baseline(run, baseline)
+        with open(args.baseline, "w") as f:
+            json.dump(updated, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"updated {args.baseline} from {args.run}")
+        return 0
+
+    failures, lines = compare(run, baseline)
+    print(f"benchgate: {run.get('bench')} vs {args.baseline}")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nFAILED: {len(failures)} metric(s) regressed "
+              f"beyond tolerance.")
+        print("If this is expected (intentional perf change), refresh "
+              "the baseline:")
+        print(f"  tools/benchgate.py --run {args.run} "
+              f"--baseline {args.baseline} --update")
+        print("then commit the updated baseline with the change that "
+              "explains it.")
+        return 1
+    print("benchgate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,8 @@
 //   cafe_cli search --collection db.col --index db.idx
 //       (--query ACGT... | --query-file q.fa)
 //       [--top 10] [--candidates 100] [--band 48] [--mode diagonal|hitcount]
-//       [--both-strands] [--evalues] [--traceback] [--disk-index]
+//       [--both-strands] [--evalues] [--traceback]
+//       [--index-mode memory|cached|mmap]   (--disk-index = cached)
 //       [--threads N]   (default: one per hardware thread; 1 = sequential)
 //       [--stats[=json]]
 //   cafe_cli batch ...   (search over --query-file; same flags)
@@ -32,8 +33,8 @@
 #include "collection/collection.h"
 #include "collection/genbank.h"
 #include "eval/table.h"
-#include "index/disk_index.h"
 #include "index/index_merge.h"
+#include "index/index_reader.h"
 #include "index/interval.h"
 #include "index/index_stats.h"
 #include "index/inverted_index.h"
@@ -68,8 +69,9 @@ int Usage() {
       "  search   --collection FILE --index FILE\n"
       "           (--query SEQ | --query-file FILE) [--top N]\n"
       "           [--candidates N] [--band N] [--mode diagonal|hitcount]\n"
-      "           [--both-strands] [--evalues] [--traceback] "
-      "[--disk-index]\n"
+      "           [--both-strands] [--evalues] [--traceback]\n"
+      "           [--index-mode memory|cached|mmap]  (--disk-index = "
+      "cached)\n"
       "           [--threads N]  (0 = one per hardware thread)\n"
       "           [--stats[=json]]  (per-query traces + metrics)\n"
       "  batch    search over a --query-file (same flags as search)\n"
@@ -169,6 +171,20 @@ Status CmdBuild(FlagParser& flags) {
   if (!index.ok()) return index.status();
   CAFE_RETURN_IF_ERROR(col->Save(col_path));
   CAFE_RETURN_IF_ERROR(index->Save(idx_path));
+  // Verify the bytes that landed on disk: reopen through the zero-copy
+  // mmap path (one CRC sweep + directory parse, no blob copy) and
+  // check the directory it sees against the index just built.
+  {
+    Result<std::unique_ptr<MmapIndex>> verify = MmapIndex::Open(idx_path);
+    if (!verify.ok()) return verify.status();
+    if ((*verify)->stats().num_terms != index->stats().num_terms ||
+        (*verify)->stats().total_postings !=
+            index->stats().total_postings ||
+        (*verify)->num_docs() != index->num_docs()) {
+      return Status::Corruption(
+          "saved index disagrees with the built index: " + idx_path);
+    }
+  }
   if (*stats_mode == "json") {
     // JSON mode: stdout is exactly one document.
     std::printf("{\"command\":\"build\","
@@ -300,6 +316,7 @@ Status CmdSearch(FlagParser& flags, bool batch_mode) {
   int64_t threads_flag = flags.GetInt("threads", 0);
   bool evalues = flags.GetBool("evalues");
   bool use_disk = flags.GetBool("disk-index");
+  std::string index_mode_flag = flags.GetString("index-mode", "");
   std::string mode = flags.GetString("mode", "diagonal");
   Result<std::string> stats_flag = ParseStatsMode(flags);
   CAFE_RETURN_IF_ERROR(flags.Finish());
@@ -329,22 +346,20 @@ Status CmdSearch(FlagParser& flags, bool batch_mode) {
   Result<SequenceCollection> col = SequenceCollection::Load(col_path);
   if (!col.ok()) return col.status();
 
-  obs::MetricsRegistry registry;
-  std::unique_ptr<DiskIndex> disk;
-  InvertedIndex mem;
-  const PostingSource* source = nullptr;
-  if (use_disk) {
-    Result<std::unique_ptr<DiskIndex>> opened = DiskIndex::Open(idx_path);
-    if (!opened.ok()) return opened.status();
-    disk = std::move(*opened);
-    if (!stats_mode.empty()) disk->AttachMetrics(&registry);
-    source = disk.get();
-  } else {
-    Result<InvertedIndex> loaded = InvertedIndex::Load(idx_path);
-    if (!loaded.ok()) return loaded.status();
-    mem = std::move(*loaded);
-    source = &mem;
+  // --index-mode picks the read path; the legacy --disk-index boolean
+  // is an alias for cached. Default: everything in memory.
+  IndexMode index_mode = use_disk ? IndexMode::kCached : IndexMode::kMemory;
+  if (!index_mode_flag.empty()) {
+    Result<IndexMode> parsed = ParseIndexMode(index_mode_flag);
+    if (!parsed.ok()) return parsed.status();
+    index_mode = *parsed;
   }
+
+  obs::MetricsRegistry registry;
+  Result<IndexReader> reader = IndexReader::Open(idx_path, index_mode);
+  if (!reader.ok()) return reader.status();
+  if (!stats_mode.empty()) reader->AttachMetrics(&registry);
+  const PostingSource* source = reader->source();
 
   std::vector<std::pair<std::string, std::string>> queries;  // (name, seq)
   if (!query.empty()) {

@@ -3,11 +3,17 @@
 //   cafe_serve --collection db.col --index db.idx
 //       [--host 127.0.0.1] [--port 0] [--port-file FILE]
 //       [--workers N] [--queue N] [--batch N] [--search-threads N]
-//       [--disk-index]
+//       [--index-mode memory|cached|mmap]   (--disk-index = cached)
 //       [--http-port N] [--http-port-file FILE]
 //       [--slow-ms N] [--flight-capacity N] [--slow-capacity N]
 //       [--stats-interval SECONDS]
 //   cafe_serve --version
+//
+// --index-mode picks the index read path: memory (blob on heap),
+// cached (DiskIndex block cache — the reference oracle) or mmap
+// (zero-copy, lock-free, near-instant startup; the serving default
+// for indexes larger than RAM). --disk-index is a legacy alias for
+// cached.
 //
 // Speaks the length-prefixed binary protocol in src/server/protocol.h;
 // cafe_loadgen and the Client library are the reference peers. With
@@ -41,8 +47,7 @@
 #include <thread>
 
 #include "collection/collection.h"
-#include "index/disk_index.h"
-#include "index/inverted_index.h"
+#include "index/index_reader.h"
 #include "obs/flight.h"
 #include "obs/log.h"
 #include "search/partitioned.h"
@@ -73,7 +78,9 @@ int Usage() {
       "usage: cafe_serve --collection FILE --index FILE\n"
       "           [--host ADDR] [--port N] [--port-file FILE]\n"
       "           [--workers N] [--queue N] [--batch N]\n"
-      "           [--search-threads N] [--disk-index]\n"
+      "           [--search-threads N]\n"
+      "           [--index-mode memory|cached|mmap]  (--disk-index = "
+      "cached)\n"
       "           [--http-port N] [--http-port-file FILE]\n"
       "           [--slow-ms N] [--flight-capacity N] [--slow-capacity N]\n"
       "           [--stats-interval SECONDS]\n"
@@ -154,6 +161,7 @@ Status Run(FlagParser& flags) {
   std::string port_file = flags.GetString("port-file", "");
   std::string http_port_file = flags.GetString("http-port-file", "");
   bool use_disk = flags.GetBool("disk-index");
+  std::string index_mode_flag = flags.GetString("index-mode", "");
   server::ServerOptions options;
   options.bind_address = flags.GetString("host", "127.0.0.1");
   options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
@@ -181,29 +189,29 @@ Status Run(FlagParser& flags) {
 
   Result<SequenceCollection> col = SequenceCollection::Load(col_path);
   if (!col.ok()) return col.status();
-  std::unique_ptr<DiskIndex> disk;
-  InvertedIndex mem;
-  const PostingSource* source = nullptr;
-  if (use_disk) {
-    Result<std::unique_ptr<DiskIndex>> opened = DiskIndex::Open(idx_path);
-    if (!opened.ok()) return opened.status();
-    disk = std::move(*opened);
-    source = disk.get();
-  } else {
-    Result<InvertedIndex> loaded = InvertedIndex::Load(idx_path);
-    if (!loaded.ok()) return loaded.status();
-    mem = std::move(*loaded);
-    source = &mem;
+  IndexMode index_mode = use_disk ? IndexMode::kCached : IndexMode::kMemory;
+  if (!index_mode_flag.empty()) {
+    Result<IndexMode> parsed = ParseIndexMode(index_mode_flag);
+    if (!parsed.ok()) return parsed.status();
+    index_mode = *parsed;
   }
-  PartitionedSearch engine(&*col, source);
+  WallTimer open_timer;
+  Result<IndexReader> reader = IndexReader::Open(idx_path, index_mode);
+  if (!reader.ok()) return reader.status();
+  obs::LogInfo(std::string("index open (") + IndexModeName(index_mode) +
+               " mode): " + std::to_string(open_timer.Millis()) + " ms");
+  PartitionedSearch engine(&*col, reader->source());
 
   WallTimer uptime;
   obs::FlightRecorder flight(flight_options);
   options.dispatcher.flight = &flight;
   server::Server server(&engine, options);
-  CAFE_RETURN_IF_ERROR(server.Start());
-
   obs::MetricsRegistry* metrics = server.metrics();
+  // Index read-path counters (disk_index.* / mmap_index.*) join the
+  // server registry so they surface on /metrics and the stats verb.
+  // Attach before Start: queries may be in flight afterwards.
+  reader->AttachMetrics(metrics);
+  CAFE_RETURN_IF_ERROR(server.Start());
   server::HttpOptions http_options;
   http_options.bind_address = options.bind_address;
   http_options.port = static_cast<uint16_t>(http_port < 0 ? 0 : http_port);
