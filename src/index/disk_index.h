@@ -30,7 +30,6 @@
 #include <fstream>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +37,7 @@
 #include "index/posting_source.h"
 #include "index/inverted_index.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace cafe {
@@ -107,11 +107,10 @@ class DiskIndex final : public PostingSource {
   };
 
   /// Fetches (or returns cached) raw bytes covering the term's list.
-  /// Requires mu_ held; *out keeps the bytes alive after the lock is
-  /// released.
+  /// *out keeps the bytes alive after the lock is released.
   [[nodiscard]] Status FetchTermBytes(uint32_t term, const TermEntry& entry,
                         std::shared_ptr<std::vector<uint8_t>>* out,
-                        uint64_t* first_byte) const;
+                        uint64_t* first_byte) const CAFE_REQUIRES(mu_);
 
   IndexOptions options_;
   std::vector<uint32_t> doc_lengths_;
@@ -119,7 +118,6 @@ class DiskIndex final : public PostingSource {
   IndexStats stats_;
 
   std::string path_;
-  mutable std::ifstream file_;
   uint64_t blob_file_offset_ = 0;  // byte offset of the blob in the file
   uint64_t blob_bytes_ = 0;
 
@@ -140,18 +138,21 @@ class DiskIndex final : public PostingSource {
   // LRU cache over term byte ranges. mu_ guards the file stream and
   // the cache structures; postings decoding happens outside the lock
   // on the fetched bytes.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  mutable std::ifstream file_ CAFE_GUARDED_BY(mu_);
   size_t cache_capacity_bytes_;
   mutable std::atomic<size_t> cache_bytes_{0};
-  mutable std::list<uint32_t> lru_;  // front = most recently used
-  mutable std::unordered_map<uint32_t, CacheEntry> cache_;
+  mutable std::list<uint32_t> lru_
+      CAFE_GUARDED_BY(mu_);  // front = most recently used
+  mutable std::unordered_map<uint32_t, CacheEntry> cache_
+      CAFE_GUARDED_BY(mu_);
   mutable AtomicCacheStats cache_stats_;
 
   // Optional registry mirror (see AttachMetrics); written under mu_.
-  obs::Counter* metric_hits_ = nullptr;
-  obs::Counter* metric_misses_ = nullptr;
-  obs::Counter* metric_evictions_ = nullptr;
-  obs::Counter* metric_bytes_read_ = nullptr;
+  obs::Counter* metric_hits_ CAFE_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* metric_misses_ CAFE_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* metric_evictions_ CAFE_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* metric_bytes_read_ CAFE_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace cafe

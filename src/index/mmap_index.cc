@@ -44,6 +44,10 @@ Result<std::unique_ptr<MmapIndex>> MmapIndex::Open(const std::string& path) {
   index->doc_lengths_ = std::move(prefix.doc_lengths);
   index->directory_ = std::move(prefix.directory);
   index->stats_ = prefix.stats;
+  // Sound borrow: `file` is moved into index->file_ four lines down,
+  // so blob_ and the mapping it points into share this object's
+  // lifetime — the zero-copy design, not an escape.
+  // NOLINTNEXTLINE(astcheck-view-escape)
   index->blob_ = file.data() + prefix.blob_offset;
   index->blob_bytes_ = prefix.blob_bytes;
   index->first_touch_micros_ = first_touch_micros;

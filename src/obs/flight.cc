@@ -74,7 +74,7 @@ void FlightRecorder::Record(FlightRecord record) {
 
   if (slow) {
     slow_recorded_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(slow_mu_);
+    MutexLock lock(&slow_mu_);
     slow_.push_back(std::move(record));
     while (slow_.size() > options_.slow_capacity) slow_.pop_front();
   }
@@ -104,7 +104,7 @@ std::vector<FlightRecord> FlightRecorder::Recent(size_t max) const {
 }
 
 std::vector<FlightRecord> FlightRecorder::Slow(size_t max) const {
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  MutexLock lock(&slow_mu_);
   std::vector<FlightRecord> out;
   const size_t n = std::min(max, slow_.size());
   out.reserve(n);

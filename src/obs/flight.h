@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/mutex.h"
 
 namespace cafe::obs {
 
@@ -131,8 +131,9 @@ class FlightRecorder {
   std::atomic<uint64_t> next_{0};
   std::vector<std::unique_ptr<Slot>> slots_;
 
-  mutable std::mutex slow_mu_;
-  std::deque<FlightRecord> slow_;  // oldest first, bounded
+  mutable Mutex slow_mu_;
+  std::deque<FlightRecord> slow_
+      CAFE_GUARDED_BY(slow_mu_);  // oldest first, bounded
   std::atomic<uint64_t> slow_recorded_{0};
 };
 

@@ -96,21 +96,21 @@ Histogram::Snapshot Histogram::Snap() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::string MetricsRegistry::SnapshotText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   char line[256];
   for (const auto& [name, counter] : counters_) {
@@ -130,7 +130,7 @@ std::string MetricsRegistry::SnapshotText() const {
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"counters\":{";
   char buf[320];  // one histogram header line incl. percentiles
   bool first = true;
@@ -171,7 +171,7 @@ std::string MetricsRegistry::SnapshotJson() const {
 }
 
 MetricsSnapshot MetricsRegistry::SnapshotData() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->Value();
@@ -216,7 +216,7 @@ std::string PrometheusName(const std::string& name) {
 }  // namespace
 
 std::string MetricsRegistry::SnapshotPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   char line[256];
   for (const auto& [name, counter] : counters_) {

@@ -23,9 +23,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace cafe::obs {
@@ -165,9 +165,13 @@ class MetricsRegistry {
   std::string SnapshotPrometheus() const;
 
  private:
-  mutable std::mutex mu_;  // guards the maps, never the metric updates
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Guards the name -> metric maps, never the metric updates (those
+  // are lock-free; callers cache the returned pointers).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CAFE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CAFE_GUARDED_BY(mu_);
 };
 
 /// RAII timer recording elapsed microseconds into a histogram on

@@ -56,7 +56,7 @@ Result<SearchResult> Dispatcher::Execute(const SearchRequest& request) {
   pending->trace_id = request.trace_id;
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       if (rejected_ != nullptr) rejected_->Increment();
       return Status::Overloaded("server is shutting down");
@@ -69,8 +69,8 @@ Result<SearchResult> Dispatcher::Execute(const SearchRequest& request) {
     queue_.push_back(pending);
     if (accepted_ != nullptr) accepted_->Increment();
     if (queue_depth_ != nullptr) queue_depth_->Record(queue_.size());
-    work_cv_.notify_one();
-    done_cv_.wait(lock, [&] { return pending->done; });
+    work_cv_.NotifyOne();
+    while (!pending->done) done_cv_.Wait(&mu_);
   }
   if (request_micros_ != nullptr) {
     request_micros_->Record(
@@ -83,12 +83,12 @@ Result<SearchResult> Dispatcher::Execute(const SearchRequest& request) {
 void Dispatcher::Stop() {
   // Serializes concurrent Stop() calls (say, Server::Shutdown racing
   // the destructor) so only one of them joins the workers.
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  MutexLock stop_lock(&stop_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -96,7 +96,7 @@ void Dispatcher::Stop() {
 }
 
 size_t Dispatcher::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -104,8 +104,8 @@ void Dispatcher::WorkerLoop() {
   while (true) {
     std::vector<std::shared_ptr<Pending>> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stopping, and fully drained
       batch.push_back(queue_.front());
       queue_.pop_front();
@@ -202,17 +202,21 @@ void Dispatcher::Complete(const std::shared_ptr<Pending>& p, Status status,
   if (result.truncated && deadline_exceeded_ != nullptr) {
     deadline_exceeded_->Increment();
   }
+  // Until `done` is published below, the worker exclusively owns *p —
+  // so the record can be assembled and handed to the recorder with no
+  // lock held at all, and the ordering guarantee still stands: the
+  // moment the waiter can observe done (it re-acquires mu_ to read
+  // it), the record has already landed. Keeping FlightRecorder::Record
+  // outside the critical section means its slot spinlock and slow-log
+  // mutex never nest under mu_.
+  p->status = std::move(status);
+  p->result = std::move(result);
+  RecordFlight(*p);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    p->status = std::move(status);
-    p->result = std::move(result);
+    MutexLock lock(&mu_);
     p->done = true;
-    // Under mu_ on purpose: the moment the waiter can observe done, it
-    // may move the result out and inspect the recorder — so the record
-    // must land first, while the waiter is still excluded.
-    RecordFlight(*p);
   }
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 void Dispatcher::RecordFlight(const Pending& p) {

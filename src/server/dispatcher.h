@@ -21,11 +21,9 @@
 #ifndef CAFE_SERVER_DISPATCHER_H_
 #define CAFE_SERVER_DISPATCHER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -34,6 +32,7 @@
 #include "search/engine.h"
 #include "server/protocol.h"
 #include "util/deadline.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace cafe::server {
@@ -76,16 +75,24 @@ class Dispatcher {
   /// with Status::Overloaded when the queue is full or the dispatcher
   /// is stopping. A result with `truncated` set means the request's
   /// deadline fired first.
-  Result<SearchResult> Execute(const SearchRequest& request);
+  Result<SearchResult> Execute(const SearchRequest& request)
+      CAFE_EXCLUDES(mu_);
 
   /// Rejects new work, drains everything already admitted, joins the
   /// workers. Idempotent.
-  void Stop();
+  void Stop() CAFE_EXCLUDES(stop_mu_, mu_);
 
   /// Queued-but-not-yet-dispatched requests right now.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const CAFE_EXCLUDES(mu_);
 
  private:
+  // One admitted request. Ownership protocol, not a per-field guard:
+  // the fields are written by the admitting thread before the Pending
+  // enters queue_, then exclusively by the worker that dequeued it,
+  // and only `done` — the publication flag — is ever touched under
+  // mu_ by both sides. The waiter reads the rest only after observing
+  // done under mu_ (the lock's release/acquire pair orders the
+  // worker's plain writes before the waiter's reads).
   struct Pending {
     std::string query;
     SearchOptions options;  // deadline handled separately, see below
@@ -101,26 +108,34 @@ class Dispatcher {
     bool done = false;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() CAFE_EXCLUDES(mu_);
   /// Runs one coalesced batch outside the lock and completes each
   /// request. `batch` is non-empty and shares one options key.
-  void RunBatch(std::vector<std::shared_ptr<Pending>> batch);
+  void RunBatch(std::vector<std::shared_ptr<Pending>> batch)
+      CAFE_EXCLUDES(mu_);
+  /// Records `p`'s flight record (outside any lock), then publishes
+  /// `done` under mu_ and wakes the waiter.
   void Complete(const std::shared_ptr<Pending>& p, Status status,
-                SearchResult result);
+                SearchResult result) CAFE_EXCLUDES(mu_);
   /// Leaves `p`'s FlightRecord with the recorder, when one is attached.
-  /// Called exactly once per request, from Complete().
-  void RecordFlight(const Pending& p);
+  /// Called exactly once per request, from Complete(), before `done`
+  /// is published — so no lock is held and none is needed: the worker
+  /// still exclusively owns *p.
+  void RecordFlight(const Pending& p) CAFE_EXCLUDES(mu_);
 
   SearchEngine* const engine_;
   const DispatcherOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for queue/stop
-  std::condition_variable done_cv_;  // Execute waits for completion
-  std::deque<std::shared_ptr<Pending>> queue_;
-  bool stopping_ = false;
-  std::mutex stop_mu_;  // serializes Stop() callers around the joins
-  std::vector<std::thread> workers_;
+  // Lock order: stop_mu_ before mu_ — never the reverse.
+  mutable Mutex mu_ CAFE_ACQUIRED_AFTER(stop_mu_);
+  CondVar work_cv_;  // workers wait for queue/stop
+  CondVar done_cv_;  // Execute waits for completion
+  std::deque<std::shared_ptr<Pending>> queue_ CAFE_GUARDED_BY(mu_);
+  bool stopping_ CAFE_GUARDED_BY(mu_) = false;
+  Mutex stop_mu_;  // serializes Stop() callers around the joins
+  // Spawned by the constructor (pre-publication, analysis-exempt);
+  // joined and cleared only under stop_mu_.
+  std::vector<std::thread> workers_ CAFE_GUARDED_BY(stop_mu_);
 
   // Resolved once at construction; null when metrics are detached.
   obs::Counter* accepted_ = nullptr;

@@ -127,7 +127,7 @@ Status HttpServer::Start() {
   port_ = ntohs(addr.sin_port);
 
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     stopping_ = false;
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -136,11 +136,11 @@ Status HttpServer::Start() {
 }
 
 void HttpServer::Shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(&shutdown_mu_);
   if (!started_) return;
 
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     stopping_ = true;
   }
   shutdown(listen_fd_, SHUT_RDWR);
@@ -149,7 +149,7 @@ void HttpServer::Shutdown() {
   listen_fd_ = -1;
 
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     for (int fd : conn_fds_) shutdown(fd, SHUT_RDWR);
   }
   for (std::thread& t : conn_threads_) {
@@ -166,7 +166,7 @@ void HttpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // shutdown(listen_fd_) during Shutdown() lands here
     }
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     if (stopping_) {
       close(fd);
       return;
@@ -203,7 +203,7 @@ void HttpServer::HandleConnection(int fd) {
     WriteResponse(fd, response);
   }
 
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(&conn_mu_);
   conn_fds_.erase(fd);
   close(fd);
 }

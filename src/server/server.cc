@@ -80,7 +80,7 @@ Status Server::Start() {
   dopt.metrics = metrics_;
   dispatcher_ = std::make_unique<Dispatcher>(engine_, dopt);
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     stopping_ = false;  // allows Start() again after Shutdown()
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -89,13 +89,13 @@ Status Server::Start() {
 }
 
 void Server::Shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(&shutdown_mu_);
   if (!started_) return;
 
   // 1. Stop accepting: shutdown() wakes the blocked accept(), then the
   //    accept thread exits and no new connection threads appear.
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     stopping_ = true;
   }
   shutdown(listen_fd_, SHUT_RDWR);
@@ -107,7 +107,7 @@ void Server::Shutdown() {
   //    see EOF and exit; a handler mid-request finishes it and still
   //    writes the response (writes stay open).
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     for (int fd : conn_fds_) shutdown(fd, SHUT_RD);
   }
   for (std::thread& t : conn_threads_) {
@@ -129,7 +129,7 @@ void Server::AcceptLoop() {
       // shutdown(listen_fd_) during Shutdown() lands here.
       return;
     }
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     if (stopping_) {
       close(fd);
       return;
@@ -199,7 +199,7 @@ void Server::HandleConnection(int fd) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(&conn_mu_);
   conn_fds_.erase(fd);
   close(fd);
 }

@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -27,6 +26,7 @@
 #include "obs/metrics.h"
 #include "search/engine.h"
 #include "server/dispatcher.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace cafe::server {
@@ -88,12 +88,19 @@ class Server {
   uint16_t port_ = 0;
   std::thread accept_thread_;
 
-  std::mutex conn_mu_;
-  std::set<int> conn_fds_;
+  Mutex conn_mu_;
+  std::set<int> conn_fds_ CAFE_GUARDED_BY(conn_mu_);
+  // Appended by the accept loop under conn_mu_; drained by Shutdown()
+  // only after the accept thread is joined (no writer left), so the
+  // joins themselves run lock-free — a phase protocol, not a guard.
   std::vector<std::thread> conn_threads_;
-  bool stopping_ = false;   // guarded by conn_mu_
+  bool stopping_ CAFE_GUARDED_BY(conn_mu_) = false;
+  // Written by Start()/Shutdown() only; those two are externally
+  // serialized (Start from the owner, Shutdown under shutdown_mu_).
   bool started_ = false;
-  std::mutex shutdown_mu_;  // serializes Shutdown() callers
+  // Serializes Shutdown() callers. Lock order: shutdown_mu_ before
+  // conn_mu_ before the dispatcher's locks — never the reverse.
+  Mutex shutdown_mu_ CAFE_ACQUIRED_BEFORE(conn_mu_);
 
   obs::Counter* connections_ = nullptr;
   obs::Counter* protocol_errors_ = nullptr;

@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -33,8 +33,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -48,10 +48,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
       std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> future = task->get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.emplace([task] { (*task)(); });
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 

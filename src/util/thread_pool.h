@@ -23,14 +23,14 @@
 #ifndef CAFE_UTIL_THREAD_POOL_H_
 #define CAFE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace cafe {
 
@@ -72,10 +72,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;  // workers wait for queue_/stopping_
+  std::queue<std::function<void()>> queue_ CAFE_GUARDED_BY(mu_);
+  bool stopping_ CAFE_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, drained by the destructor —
+  // never mutated while workers run, so no lock guards it.
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,22 @@
+// Negative-compile probe: this file MUST FAIL to compile under Clang
+// with -Wthread-safety -Werror=thread-safety. cafe::Mutex is
+// non-reentrant; acquiring it twice on one thread is a guaranteed
+// deadlock, and the analysis must reject the second acquire at compile
+// time. If this ever compiles, the CAFE_ACQUIRE/CAFE_SCOPED_CAPABILITY
+// annotations on Mutex/MutexLock have been lost.
+
+#include "util/mutex.h"
+
+namespace {
+
+cafe::Mutex g_mu;
+
+int DoubleAcquire() {
+  cafe::MutexLock outer(&g_mu);
+  cafe::MutexLock inner(&g_mu);  // second acquire: must not compile
+  return 0;
+}
+
+}  // namespace
+
+int main() { return DoubleAcquire(); }

@@ -1,0 +1,27 @@
+// Negative-compile probe: this file MUST FAIL to compile under Clang
+// with -Wthread-safety -Werror=thread-safety. tests/CMakeLists.txt
+// try_compiles it (Clang configures only) and stops the configure if
+// it ever succeeds — which would mean CAFE_GUARDED_BY lost its teeth
+// and unlocked access to guarded fields goes unchecked again.
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Reads a guarded field without holding its mutex: the thread
+  // safety analysis must reject this.
+  int Get() const { return value_; }
+
+ private:
+  mutable cafe::Mutex mu_;
+  int value_ CAFE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Get();
+}

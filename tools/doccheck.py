@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Doc/code cross-check for the metric catalogue.
+"""Doc/code cross-checks: the metric catalogue and the mutex inventory.
 
 docs/OBSERVABILITY.md claims to document every counter and histogram
 name. This check keeps that true in both directions, grep-style:
@@ -15,6 +15,15 @@ name. This check keeps that true in both directions, grep-style:
                 and every documented Prometheus name (`cafe_...` in
                 backticks) must be one a code metric actually exports
 
+docs/ARCHITECTURE.md ("Concurrency invariants") claims to inventory
+every mutex in the tree. Same bidirectional contract:
+
+  code -> doc   every `Mutex <name>` declaration under src/ (outside
+                src/util/mutex.h, which defines the type) must have an
+                inventory row naming it and its declaring file
+  doc -> code   every inventory row (`| `Owner::name` | `src/...` |`)
+                must point at a file that really declares that Mutex
+
 Usage: tools/doccheck.py [repo-root]      (exit 0 = consistent)
 """
 
@@ -26,6 +35,15 @@ GET_RE = re.compile(r'Get(Counter|Histogram)\(\s*"([^"]+)"')
 DOC_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+\.[a-z0-9_]+)`\s*\|")
 DOC_PROM_RE = re.compile(r"`(cafe_[a-z0-9_]+)`")
 DOC_PATH = "docs/OBSERVABILITY.md"
+
+ARCH_PATH = "docs/ARCHITECTURE.md"
+# Inventory rows: | `Dispatcher::mu_` | `src/server/dispatcher.h` | …
+# (file-scope mutexes like g_log_mu have no Owner:: prefix).
+MUTEX_ROW_RE = re.compile(
+    r"^\|\s*`(?:\w+::)?(\w+)`\s*\|\s*`(src/[\w./]+)`\s*\|")
+# `Mutex name_;` / `mutable Mutex mu_ CAFE_…;` / `Mutex g_log_mu;`
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:cafe::)?Mutex\s+(\w+)")
 
 # Backticked `cafe_*` words that are repo binaries / libraries / CMake
 # helpers, not Prometheus series claims.
@@ -68,6 +86,52 @@ def doc_metric_names(doc_text):
     return names
 
 
+def code_mutex_decls(root):
+    """{(relpath, mutex name)} for every Mutex declared under src/,
+    excluding util/mutex.h (the wrapper's own internals)."""
+    decls = set()
+    for dirpath, _, files in os.walk(os.path.join(root, "src")):
+        for name in sorted(files):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            if rel == "src/util/mutex.h":
+                continue
+            with open(path, encoding="utf-8") as f:
+                for line in f:
+                    m = MUTEX_DECL_RE.match(line)
+                    if m:
+                        decls.add((rel, m.group(1)))
+    return decls
+
+
+def doc_mutex_rows(arch_text):
+    rows = set()
+    for line in arch_text.split("\n"):
+        m = MUTEX_ROW_RE.match(line)
+        if m:
+            rows.add((m.group(2), m.group(1)))
+    return rows
+
+
+def check_mutex_inventory(root, problems):
+    arch_path = os.path.join(root, ARCH_PATH)
+    with open(arch_path, encoding="utf-8") as f:
+        arch_text = f.read()
+    in_code = code_mutex_decls(root)
+    in_doc = doc_mutex_rows(arch_text)
+    for rel, name in sorted(in_code - in_doc):
+        problems.append(
+            f"{rel}: Mutex {name!r} has no inventory row in {ARCH_PATH} "
+            f"(\"Concurrency invariants\")")
+    for rel, name in sorted(in_doc - in_code):
+        problems.append(
+            f"{ARCH_PATH}: inventory row claims Mutex {name!r} in "
+            f"{rel!r}, but that file declares no such mutex")
+    return len(in_code), len(in_doc)
+
+
 def main():
     root = sys.argv[1] if len(sys.argv) > 1 else "."
     doc_path = os.path.join(root, DOC_PATH)
@@ -108,10 +172,13 @@ def main():
                 f"{DOC_PATH}: documents Prometheus name {prom!r} but "
                 f"/metrics exports no such series")
 
+    mutex_code, mutex_doc = check_mutex_inventory(root, problems)
+
     for p in problems:
         print(p)
     print(f"doccheck: {len(in_code)} metrics in code, {len(in_doc)} in "
-          f"catalogue, {len(problems)} problem(s)")
+          f"catalogue, {mutex_code} mutexes in code, {mutex_doc} in "
+          f"inventory, {len(problems)} problem(s)")
     return 1 if problems else 0
 
 

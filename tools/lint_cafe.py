@@ -26,6 +26,13 @@ Checks that clang-tidy / compiler warnings cannot express:
                   obs::Log (timestamp, severity, trace id), so server
                   output is uniformly greppable and joinable with the
                   flight recorder (snprintf formatting is fine)
+  no-raw-mutex    no std::mutex / std::lock_guard / std::unique_lock /
+                  std::condition_variable (or their timed/recursive/
+                  shared variants) outside src/util/mutex.h — locking
+                  goes through cafe::Mutex so every locking invariant
+                  carries thread safety annotations and is checked by
+                  clang -Wthread-safety (same confinement pattern as
+                  std::thread -> ThreadPool)
 
 Files under tools/ are binaries, not library code; only the fprintf
 rule applies there, and only to cafe_serve.cc (the long-running
@@ -52,6 +59,7 @@ RULE_THREAD = "cafe-no-std-thread"
 RULE_CHRONO = "cafe-no-adhoc-chrono"
 RULE_SOCKET = "cafe-no-raw-socket"
 RULE_FPRINTF = "cafe-no-raw-fprintf"
+RULE_MUTEX = "cafe-no-raw-mutex"
 
 THROW_RE = re.compile(r"\bthrow\b")
 # `new X`, `new (nothrow) X`, `new X[...]`; `delete p`, `delete[] p`.
@@ -64,6 +72,10 @@ SOCKET_RE = re.compile(r"#\s*include\s*<(sys/socket|netinet/|arpa/inet|netdb)")
 # printf/fprintf calls (with or without std::). The lookbehind keeps
 # snprintf/vfprintf (formatting, not output) from matching.
 FPRINTF_RE = re.compile(r"(?<!\w)(?:std::)?f?printf\s*\(")
+MUTEX_RE = re.compile(
+    r"\bstd::(?:(?:timed_|recursive_|recursive_timed_|shared_|"
+    r"shared_timed_)?mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(?:_any)?)\b")
 
 
 def strip_code_noise(line):
@@ -111,6 +123,7 @@ def lint_lines(relpath, lines, findings):
     is_header = relpath.endswith(".h")
     thread_ok = relpath.startswith(("src/util/thread_pool.",
                                     "src/server/"))
+    mutex_ok = relpath == "src/util/mutex.h"
     socket_ok = relpath.startswith("src/server/")
     chrono_scoped = relpath.startswith(("src/search/", "src/index/"))
     fprintf_scoped = (relpath.startswith("src/server/")
@@ -185,6 +198,11 @@ def lint_lines(relpath, lines, findings):
             report(RULE_THREAD,
                    "std::thread outside src/util/thread_pool.* or "
                    "src/server/; use ThreadPool")
+        if MUTEX_RE.search(code) and not mutex_ok:
+            report(RULE_MUTEX,
+                   "raw std locking primitive; use cafe::Mutex / "
+                   "MutexLock / CondVar (util/mutex.h) so the "
+                   "invariants carry thread safety annotations")
         if CHRONO_RE.search(code) and chrono_scoped:
             report(RULE_CHRONO,
                    "ad-hoc std::chrono in search/index code; time with "
@@ -211,6 +229,26 @@ SELFTEST_CASES = [
     ("src/a/b.cc", "std::thread t(run);", RULE_THREAD),
     ("src/util/thread_pool.cc", "std::thread t(run);", None),
     ("src/server/server.cc", "std::thread t(run);", None),
+    ("src/a/b.cc", "std::mutex mu;", RULE_MUTEX),
+    ("src/a/b.cc", "std::lock_guard<std::mutex> lock(mu);", RULE_MUTEX),
+    ("src/a/b.cc", "std::unique_lock<std::mutex> lock(mu);", RULE_MUTEX),
+    ("src/a/b.cc", "std::scoped_lock lock(a, b);", RULE_MUTEX),
+    ("src/a/b.cc", "std::shared_mutex rw;", RULE_MUTEX),
+    ("src/a/b.cc", "std::recursive_mutex mu;", RULE_MUTEX),
+    ("src/a/b.cc", "std::condition_variable cv;", RULE_MUTEX),
+    ("src/server/http.cc", "std::mutex mu;", RULE_MUTEX),
+    # The one home raw primitives are allowed: the wrapper itself.
+    ("src/util/mutex.h",
+     "#ifndef CAFE_UTIL_MUTEX_H_\nstd::mutex mu_;", None),
+    ("src/util/mutex.h",
+     "#ifndef CAFE_UTIL_MUTEX_H_\n"
+     "std::unique_lock<std::mutex> native(mu->mu_);", None),
+    ("src/util/mutex.h",
+     "#ifndef CAFE_UTIL_MUTEX_H_\nstd::condition_variable cv_;", None),
+    ("src/a/b.cc", "cafe::Mutex mu_;", None),
+    ("src/a/b.cc", "MutexLock lock(&mu_);", None),
+    ("src/a/b.cc", "// std::mutex is banned here", None),
+    ("src/a/b.cc", "std::mutex mu;  // NOLINT(cafe-no-raw-mutex)", None),
     ("src/a/b.cc", "#include <sys/socket.h>", RULE_SOCKET),
     ("src/a/b.cc", "#include <netinet/in.h>", RULE_SOCKET),
     ("src/a/b.cc", "#include <arpa/inet.h>", RULE_SOCKET),
