@@ -29,12 +29,27 @@ PairScoreTable::PairScoreTable(const ScoringScheme& scheme) {
 }
 
 Aligner::Aligner(const ScoringScheme& scheme)
-    : scheme_(scheme), table_(scheme) {}
+    : scheme_(scheme),
+      table_(scheme),
+      simd_level_(ActiveSimdLevel()),
+      striped_ok_(StripedScorer::Supported(scheme)),
+      striped_(scheme) {}
 
 int Aligner::ScoreOnly(std::string_view query, std::string_view target) const {
   const size_t m = query.size();
   const size_t n = target.size();
   if (m == 0 || n == 0) return 0;
+  if (simd_level_ != SimdLevel::kScalar && striped_ok_) {
+    int score = 0;
+    if (striped_.Score(table_, query, target, simd_level_, &score)) {
+      // Same accounting as the scalar loop, so stats and traces are
+      // byte-identical across dispatch tiers.
+      cells_ += static_cast<uint64_t>(m) * n;
+      internal::RecordScoreOnly(/*striped=*/true);
+      return score;
+    }
+  }
+  internal::RecordScoreOnly(/*striped=*/false);
   const int32_t go = scheme_.gap_open;
   const int32_t ge = scheme_.gap_extend;
 

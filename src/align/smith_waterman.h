@@ -22,6 +22,8 @@
 
 #include "align/alignment.h"
 #include "align/scoring.h"
+#include "align/sw_simd.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace cafe {
@@ -50,6 +52,10 @@ class Aligner {
   const ScoringScheme& scheme() const { return scheme_; }
 
   /// Best local alignment score; linear space, O(|q|*|t|) time.
+  /// Dispatches to the striped SIMD kernel (align/sw_simd.h) when the
+  /// active tier and the scheme allow it; the scalar loop is the oracle
+  /// and the saturation fallback. Every tier returns the identical
+  /// score and advances cells_computed() identically.
   int ScoreOnly(std::string_view query, std::string_view target) const;
 
   /// Best local alignment with traceback. Fails with InvalidArgument when
@@ -76,12 +82,22 @@ class Aligner {
   uint64_t cells_computed() const { return cells_; }
   void ResetCellCount() { cells_ = 0; }
 
+  /// The dispatch tier ScoreOnly runs at — ActiveSimdLevel() at
+  /// construction. The setter is a test hook: the oracle tests force
+  /// every tier onto identical inputs without re-exec'ing under a
+  /// different CAFE_SIMD_LEVEL.
+  SimdLevel simd_level() const { return simd_level_; }
+  void set_simd_level(SimdLevel level) { simd_level_ = level; }
+
  private:
   ScoringScheme scheme_;
   PairScoreTable table_;
+  SimdLevel simd_level_;
+  bool striped_ok_;
   mutable uint64_t cells_ = 0;
   mutable std::vector<int32_t> h_buf_;
   mutable std::vector<int32_t> f_buf_;
+  mutable StripedScorer striped_;
 };
 
 }  // namespace cafe

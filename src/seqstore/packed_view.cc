@@ -1,8 +1,10 @@
 #include "seqstore/packed_view.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "alphabet/nucleotide.h"
+#include "seqstore/packed_scan_simd.h"
 #include "util/check.h"
 
 namespace cafe {
@@ -93,7 +95,16 @@ Result<PackedQuery> PackedQuery::FromString(std::string_view seq) {
   return q;
 }
 
-size_t PackedMatchCount(const PackedView& a, size_t apos,
+namespace {
+
+// Windows shorter than this skip the vector attempt: the scalar word
+// loop already does 32 bases per step and the alignment head/tail
+// bookkeeping would dominate.
+constexpr size_t kPackedSimdMinBases = 64;
+
+// The 32-bases-per-64-bit-load reference loop (also the head/tail
+// handler for the vectorized path).
+size_t ScalarMatchCount(const PackedView& a, size_t apos,
                         const PackedView& b, size_t bpos, size_t len) {
   size_t matches = 0;
   size_t done = 0;
@@ -111,6 +122,52 @@ size_t PackedMatchCount(const PackedView& a, size_t apos,
     done += static_cast<size_t>(take);
   }
   return matches;
+}
+
+}  // namespace
+
+size_t PackedMatchCount(const PackedView& a, size_t apos,
+                        const PackedView& b, size_t bpos, size_t len,
+                        SimdLevel level) {
+  size_t a_avail = a.size() > apos ? a.size() - apos : 0;
+  size_t b_avail = b.size() > bpos ? b.size() - bpos : 0;
+  size_t window = std::min(len, std::min(a_avail, b_avail));
+  size_t matches = 0;
+  size_t done = 0;
+  size_t simd_bases = 0;
+  if (level != SimdLevel::kScalar && window >= kPackedSimdMinBases) {
+    // Scalar head until stream `a` hits a byte boundary.
+    size_t head = (4 - (apos & 3)) & 3;
+    if (head != 0) {
+      matches += ScalarMatchCount(a, apos, b, bpos, head);
+      done = head;
+    }
+    size_t a_off = apos + done;  // multiple of 4 from here on
+    size_t b_off = bpos + done;
+    size_t nbytes = (window - done) / 4;
+    if (nbytes != 0) {
+      // Whole bytes inside both sequences: every read below — including
+      // b's one-byte lookahead when the shift is non-zero — stays
+      // within the payloads (see packed_scan_simd.h).
+      size_t bytes_done = 0;
+      size_t mism = PackedBulkMismatches(
+          a.payload() + (a_off >> 2), b.payload() + (b_off >> 2),
+          static_cast<int>(2 * (b_off & 3)), nbytes, level, &bytes_done);
+      simd_bases = bytes_done * 4;
+      matches += simd_bases - mism;
+      done += simd_bases;
+    }
+  }
+  if (done < len) {
+    matches += ScalarMatchCount(a, apos + done, b, bpos + done, len - done);
+  }
+  internal::RecordPackedScan(simd_bases, window - simd_bases);
+  return matches;
+}
+
+size_t PackedMatchCount(const PackedView& a, size_t apos,
+                        const PackedView& b, size_t bpos, size_t len) {
+  return PackedMatchCount(a, apos, b, bpos, len, ActiveSimdLevel());
 }
 
 UngappedSegment PackedXDropExtend(const PackedView& a, const PackedView& b,

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "util/simd.h"
+
 #if defined(__x86_64__) && defined(__GNUC__)
 #include <immintrin.h>
 #define CAFE_CRC32_PCLMUL 1
@@ -133,8 +135,11 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   uint32_t c = seed ^ 0xFFFFFFFFu;
 #if defined(CAFE_CRC32_PCLMUL)
+  // CAFE_SIMD_LEVEL=scalar forces the slice-by-8 oracle; any wider tier
+  // keeps the carryless-multiply kernel (PCLMULQDQ is its own CPU
+  // feature, not an SSE2/AVX2 width — see docs/PERFORMANCE.md).
   static const bool have_pclmul = HavePclmul();
-  if (have_pclmul && size >= 64) {
+  if (have_pclmul && size >= 64 && ActiveSimdLevel() != SimdLevel::kScalar) {
     const size_t folded = size & ~size_t{15};
     c = Crc32Pclmul(p, folded, c);
     p += folded;

@@ -1,0 +1,85 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace cafe {
+namespace {
+
+// -1 = no override; otherwise the int value of the forced SimdLevel.
+std::atomic<int> g_override{-1};
+
+SimdLevel ComputeActiveSimdLevel() {
+  SimdLevel level = DetectCpuSimdLevel();
+  const char* env = std::getenv("CAFE_SIMD_LEVEL");
+  SimdLevel cap;
+  if (env != nullptr && ParseSimdLevel(env, &cap) && cap < level) {
+    level = cap;
+  }
+  return level;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+bool ParseSimdLevel(const char* text, SimdLevel* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(text, "sse2") == 0) {
+    *out = SimdLevel::kSse2;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+SimdLevel DetectCpuSimdLevel() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ActiveSimdLevel() {
+  int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  static const SimdLevel cached = ComputeActiveSimdLevel();
+  return cached;
+}
+
+namespace internal {
+
+void SetActiveSimdLevelForTest(SimdLevel level) {
+  // Clamp to what this CPU can run so a test forcing avx2 degrades to
+  // the widest available kernel instead of SIGILL on older hardware.
+  SimdLevel cpu = DetectCpuSimdLevel();
+  if (level > cpu) level = cpu;
+  g_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ResetActiveSimdLevelForTest() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace cafe

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "align/statistics.h"
+#include "align/sw_simd.h"
 #include "alphabet/nucleotide.h"
 #include "collection/collection.h"
 #include "collection/genbank.h"
@@ -41,6 +42,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "search/partitioned.h"
+#include "seqstore/packed_scan_simd.h"
 #include "sim/generator.h"
 #include "util/flags.h"
 #include "util/stringutil.h"
@@ -358,7 +360,13 @@ Status CmdSearch(FlagParser& flags, bool batch_mode) {
   obs::MetricsRegistry registry;
   Result<IndexReader> reader = IndexReader::Open(idx_path, index_mode);
   if (!reader.ok()) return reader.status();
-  if (!stats_mode.empty()) reader->AttachMetrics(&registry);
+  if (!stats_mode.empty()) {
+    reader->AttachMetrics(&registry);
+    // SIMD dispatch counters (coarse.packed_* / align.*) ride along so
+    // the stats verb shows which tier served the hot loops.
+    AttachPackedScanMetrics(&registry);
+    AttachAlignSimdMetrics(&registry);
+  }
   const PostingSource* source = reader->source();
 
   std::vector<std::pair<std::string, std::string>> queries;  // (name, seq)

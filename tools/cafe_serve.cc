@@ -46,11 +46,13 @@
 #include <string>
 #include <thread>
 
+#include "align/sw_simd.h"
 #include "collection/collection.h"
 #include "index/index_reader.h"
 #include "obs/flight.h"
 #include "obs/log.h"
 #include "search/partitioned.h"
+#include "seqstore/packed_scan_simd.h"
 #include "server/http.h"
 #include "server/server.h"
 #include "util/flags.h"
@@ -211,6 +213,10 @@ Status Run(FlagParser& flags) {
   // server registry so they surface on /metrics and the stats verb.
   // Attach before Start: queries may be in flight afterwards.
   reader->AttachMetrics(metrics);
+  // SIMD dispatch counters (coarse.packed_* / align.*) likewise: they
+  // show which tier is serving the coarse scan and the fine alignments.
+  AttachPackedScanMetrics(metrics);
+  AttachAlignSimdMetrics(metrics);
   CAFE_RETURN_IF_ERROR(server.Start());
   server::HttpOptions http_options;
   http_options.bind_address = options.bind_address;

@@ -24,6 +24,18 @@ every mutex in the tree. Same bidirectional contract:
   doc -> code   every inventory row (`| `Owner::name` | `src/...` |`)
                 must point at a file that really declares that Mutex
 
+docs/PERFORMANCE.md claims to inventory every runtime-dispatched SIMD
+kernel and every benchmark binary. Same contract, twice over:
+
+  code -> doc   every `__attribute__((target("...")))` function under
+                src/ must have a dispatch-table row naming it and its
+                defining file; every cafe_add_bench/cafe_add_micro
+                target in bench/CMakeLists.txt must be mentioned
+  doc -> code   every dispatch-table row (`| `Kernel` | `src/...` |`)
+                must point at a file that really defines that kernel
+                with a target attribute, and every backticked
+                `bench_*` name must be a registered bench target
+
 Usage: tools/doccheck.py [repo-root]      (exit 0 = consistent)
 """
 
@@ -44,6 +56,18 @@ MUTEX_ROW_RE = re.compile(
 # `Mutex name_;` / `mutable Mutex mu_ CAFE_…;` / `Mutex g_log_mu;`
 MUTEX_DECL_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:cafe::)?Mutex\s+(\w+)")
+
+PERF_PATH = "docs/PERFORMANCE.md"
+BENCH_CMAKE_PATH = "bench/CMakeLists.txt"
+# `__attribute__((target("avx2"))) inline __m256i ShiftLanesUp(…` — the
+# kernel name is the identifier before the first paren after the
+# attribute (clang-format keeps them on one logical line).
+TARGET_ATTR_RE = re.compile(
+    r'__attribute__\(\(target\("[^"]+"\)\)\)\s*(?:inline\s+)?\w+\s+(\w+)\s*\(')
+# Dispatch-table rows: | `PackedScanAvx2` | `src/seqstore/…` | …
+PERF_KERNEL_ROW_RE = re.compile(r"^\|\s*`(\w+)`\s*\|\s*`(src/[\w./]+)`\s*\|")
+BENCH_REG_RE = re.compile(r"cafe_add_(?:bench|micro)\((\w+)\)")
+DOC_BENCH_RE = re.compile(r"`(bench_\w+)`")
 
 # Backticked `cafe_*` words that are repo binaries / libraries / CMake
 # helpers, not Prometheus series claims.
@@ -132,6 +156,56 @@ def check_mutex_inventory(root, problems):
     return len(in_code), len(in_doc)
 
 
+def code_kernel_decls(root):
+    """{(relpath, function name)} for every target-attributed function
+    under src/ — the runtime-dispatched SIMD kernels."""
+    decls = set()
+    for dirpath, _, files in os.walk(os.path.join(root, "src")):
+        for name in sorted(files):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as f:
+                for fname in TARGET_ATTR_RE.findall(f.read()):
+                    decls.add((rel, fname))
+    return decls
+
+
+def check_simd_inventory(root, perf_text, problems):
+    in_code = code_kernel_decls(root)
+    in_doc = set()
+    for line in perf_text.split("\n"):
+        m = PERF_KERNEL_ROW_RE.match(line)
+        if m:
+            in_doc.add((m.group(2), m.group(1)))
+    for rel, name in sorted(in_code - in_doc):
+        problems.append(
+            f"{rel}: SIMD kernel {name!r} has no dispatch-table row in "
+            f"{PERF_PATH}")
+    for rel, name in sorted(in_doc - in_code):
+        problems.append(
+            f"{PERF_PATH}: dispatch-table row claims kernel {name!r} in "
+            f"{rel!r}, but that file defines no such target-attributed "
+            f"function")
+    return len(in_code), len(in_doc)
+
+
+def check_bench_inventory(root, perf_text, problems):
+    with open(os.path.join(root, BENCH_CMAKE_PATH), encoding="utf-8") as f:
+        registered = set(BENCH_REG_RE.findall(f.read()))
+    documented = set(DOC_BENCH_RE.findall(perf_text))
+    for name in sorted(registered - documented):
+        problems.append(
+            f"{BENCH_CMAKE_PATH}: bench target {name!r} is not documented "
+            f"in {PERF_PATH}")
+    for name in sorted(documented - registered):
+        problems.append(
+            f"{PERF_PATH}: mentions bench {name!r} but "
+            f"{BENCH_CMAKE_PATH} registers no such target")
+    return len(registered)
+
+
 def main():
     root = sys.argv[1] if len(sys.argv) > 1 else "."
     doc_path = os.path.join(root, DOC_PATH)
@@ -174,11 +248,18 @@ def main():
 
     mutex_code, mutex_doc = check_mutex_inventory(root, problems)
 
+    with open(os.path.join(root, PERF_PATH), encoding="utf-8") as f:
+        perf_text = f.read()
+    kernel_code, kernel_doc = check_simd_inventory(root, perf_text, problems)
+    bench_count = check_bench_inventory(root, perf_text, problems)
+
     for p in problems:
         print(p)
     print(f"doccheck: {len(in_code)} metrics in code, {len(in_doc)} in "
           f"catalogue, {mutex_code} mutexes in code, {mutex_doc} in "
-          f"inventory, {len(problems)} problem(s)")
+          f"inventory, {kernel_code} SIMD kernels in code, {kernel_doc} in "
+          f"dispatch table, {bench_count} bench targets, "
+          f"{len(problems)} problem(s)")
     return 1 if problems else 0
 
 
