@@ -5,17 +5,62 @@
 // With planted homologues we can measure this exactly: recall of the true
 // answer set and overlap with the exhaustive Smith-Waterman oracle, as a
 // function of fine_candidates, alongside the per-query cost.
+//
+// The second section measures the chaining middle stage (search/chain.h):
+// how far diagonal filtering + collinear chaining shrinks the fine-phase
+// candidate count, and that the significant hits are byte-identical with
+// chaining on and off — at threads 1 and 4, across all three index read
+// paths. With --benchmark_format=json (and/or --benchmark_out=FILE) it
+// emits the machine-readable document tools/benchgate.py compares
+// against bench/baselines/chain.json in CI.
+
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "bench_common.h"
 #include "eval/harness.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
+#include "index/index_reader.h"
+#include "obs/trace.h"
 #include "search/exhaustive.h"
 #include "search/partitioned.h"
+#include "util/flags.h"
 
 using namespace cafe;
 
-int main() {
+namespace {
+
+// Hits above the per-query significance floor, as comparable values.
+// The floor (40% of the chaining-off run's best score, the same notion
+// the effectiveness section uses) excises the random-alignment noise
+// that pads a top-20 over random background — chance candidates with
+// no collinear seed run are exactly what chaining prunes, so only the
+// hits above the floor are covered by the parity contract.
+using HitKey = std::tuple<uint32_t, int, double>;
+
+std::vector<std::vector<HitKey>> SignificantHits(
+    const std::vector<SearchResult>& results,
+    const std::vector<int>& floors) {
+  std::vector<std::vector<HitKey>> out(results.size());
+  for (size_t q = 0; q < results.size(); ++q) {
+    for (const SearchHit& h : results[q].hits) {
+      if (h.score >= floors[q]) {
+        out[q].emplace_back(h.seq_id, h.score, h.coarse_score);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool json = flags.GetString("benchmark_format", "console") == "json";
+  const std::string out_path = flags.GetString("benchmark_out", "");
+  bench::Unwrap(flags.Finish(), "flags");
   bench::PrintHeader(
       "E4: retrieval effectiveness vs candidates fine-searched",
       "index-based partitioned search matches exhaustive ranking with a "
@@ -109,5 +154,124 @@ int main() {
       "an exhaustive top-20 over random background\nis mostly noise-floor "
       "alignments, which no selective method (nor the paper's)\n"
       "reproduces.\n");
-  return 0;
+
+  // ---- Chaining middle stage: funnel shrinkage and hit parity ----
+  std::printf(
+      "\nchaining funnel (fine_candidates=100, every read path, threads "
+      "1 and 4):\n\n");
+  std::string idx_path = TempDir() + "/cafe_bench_e4.idx";
+  bench::Unwrap(index->Save(idx_path), "index save");
+
+  SearchOptions chain_base;
+  chain_base.max_results = 20;
+  chain_base.fine_candidates = 100;
+  // The chain-length dial, scaled to this workload. The coarse ranker
+  // already ranks by a windowed diagonal statistic, so its top-100 is
+  // selection-biased toward noise docs whose best window holds 4-5
+  // chance anchors — and inside a 2-frame window collinearity is
+  // nearly automatic, so tiny thresholds drop nothing. Chance windows
+  // top out near 8-9 anchors here while a planted homologue (even at
+  // 30% divergence) chains 12+ collinear seeds across the full query.
+  chain_base.min_chain_score = 8;
+
+  // Per-query significance floors from the reference run (memory read
+  // path, threads 1, chaining off).
+  std::vector<int> floors;
+  {
+    eval::BatchResult ref = bench::Unwrap(
+        eval::RunBatch(&part, queries, chain_base), "floor batch");
+    for (const SearchResult& r : ref.results) {
+      floors.push_back(r.hits.empty() ? 1 : r.hits[0].score * 2 / 5);
+    }
+  }
+
+  eval::TablePrinter chain_table({"read path", "threads", "aligned/q off",
+                                  "aligned/q on", "ratio", "anchors/q",
+                                  "sig hits identical"});
+  const double nq = static_cast<double>(queries.size());
+  uint64_t aligned_off_total = 0;
+  uint64_t aligned_on_total = 0;
+  uint64_t anchors_total = 0;
+  uint64_t chain_runs = 0;
+  bool tophits_identical = true;
+  bool modes_agree = true;
+  std::vector<std::vector<HitKey>> reference_hits;
+  for (IndexMode mode :
+       {IndexMode::kMemory, IndexMode::kCached, IndexMode::kMmap}) {
+    Result<IndexReader> reader = IndexReader::Open(idx_path, mode);
+    bench::Unwrap(reader.status(), "index open");
+    PartitionedSearch engine(&wl->collection, reader->source());
+    for (uint32_t threads : {1u, 4u}) {
+      SearchOptions off = chain_base;
+      off.threads = threads;
+      obs::SearchTrace off_trace;
+      off.trace = &off_trace;
+      eval::BatchResult off_batch = bench::Unwrap(
+          eval::RunBatch(&engine, queries, off), "chain-off batch");
+
+      SearchOptions on = off;
+      on.chain_mode = ChainMode::kFilter;
+      obs::SearchTrace on_trace;
+      on.trace = &on_trace;
+      eval::BatchResult on_batch = bench::Unwrap(
+          eval::RunBatch(&engine, queries, on), "chain-on batch");
+
+      std::vector<std::vector<HitKey>> off_hits =
+          SignificantHits(off_batch.results, floors);
+      std::vector<std::vector<HitKey>> on_hits =
+          SignificantHits(on_batch.results, floors);
+      const bool identical = off_hits == on_hits;
+      tophits_identical = tophits_identical && identical;
+      if (reference_hits.empty()) {
+        reference_hits = off_hits;
+      } else if (off_hits != reference_hits ||
+                 on_hits != reference_hits) {
+        modes_agree = false;
+      }
+      aligned_off_total += off_trace.candidates_aligned;
+      aligned_on_total += on_trace.candidates_aligned;
+      anchors_total += on_trace.chain_anchors;
+      ++chain_runs;
+      chain_table.AddRow(
+          {IndexModeName(mode), std::to_string(threads),
+           FormatDouble(
+               static_cast<double>(off_trace.candidates_aligned) / nq, 1),
+           FormatDouble(
+               static_cast<double>(on_trace.candidates_aligned) / nq, 1),
+           FormatDouble(static_cast<double>(on_trace.candidates_aligned) /
+                            static_cast<double>(off_trace.candidates_aligned),
+                        3),
+           FormatDouble(static_cast<double>(on_trace.chain_anchors) / nq, 0),
+           identical ? "yes" : "NO"});
+    }
+  }
+  chain_table.Print();
+  bench::Unwrap(RemoveFile(idx_path), "cleanup");
+
+  const double fine_ratio =
+      static_cast<double>(aligned_on_total) /
+      static_cast<double>(aligned_off_total == 0 ? 1 : aligned_off_total);
+  const double runs = static_cast<double>(chain_runs);
+  std::printf(
+      "\nchaining keeps %.1f%% of fine-phase candidates (gate: <= 50%%); "
+      "significant\nhits %s across chain on/off, read paths and thread "
+      "counts.\n",
+      100.0 * fine_ratio,
+      tophits_identical && modes_agree ? "identical" : "DIFFER");
+
+  if (json || !out_path.empty()) {
+    bench::JsonMetrics doc("e4_chain");
+    doc.Add("fine_candidates_ratio", fine_ratio);
+    doc.Add("tophits_identical", tophits_identical ? 1.0 : 0.0);
+    doc.Add("modes_agree", modes_agree ? 1.0 : 0.0);
+    doc.Add("aligned_per_query_off",
+            static_cast<double>(aligned_off_total) / nq / runs);
+    doc.Add("aligned_per_query_on",
+            static_cast<double>(aligned_on_total) / nq / runs);
+    doc.Add("chain_anchors_per_query",
+            static_cast<double>(anchors_total) / nq / runs);
+    doc.Emit(out_path);
+  }
+
+  return (tophits_identical && modes_agree && fine_ratio <= 0.5) ? 0 : 1;
 }

@@ -1,0 +1,35 @@
+#include "alphabet/spaced_seed.h"
+
+namespace cafe {
+
+Result<SpacedSeed> SpacedSeed::Parse(std::string_view pattern) {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("spaced seed pattern is empty");
+  }
+  if (pattern.size() > static_cast<size_t>(kMaxSeedSpan)) {
+    return Status::InvalidArgument("spaced seed span exceeds " +
+                                   std::to_string(kMaxSeedSpan));
+  }
+  if (pattern.front() != '1' || pattern.back() != '1') {
+    return Status::InvalidArgument(
+        "spaced seed pattern must start and end with '1'");
+  }
+  SpacedSeed seed;
+  seed.pattern_.assign(pattern);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == '1') {
+      seed.care_.push_back(static_cast<uint8_t>(i));
+    } else if (pattern[i] != '0') {
+      return Status::InvalidArgument(
+          "spaced seed pattern may contain only '0' and '1'");
+    }
+  }
+  if (seed.weight() < kMinSeedWeight || seed.weight() > kMaxSeedWeight) {
+    return Status::InvalidArgument(
+        "spaced seed weight must be in [" + std::to_string(kMinSeedWeight) +
+        ", " + std::to_string(kMaxSeedWeight) + "]");
+  }
+  return seed;
+}
+
+}  // namespace cafe

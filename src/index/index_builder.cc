@@ -5,6 +5,7 @@
 #include "index/index_metrics.h"
 #include "index/interval.h"
 #include "index/inverted_index.h"
+#include "index/seed_extract.h"
 #include "util/timer.h"
 
 namespace cafe {
@@ -77,6 +78,12 @@ Status IndexOptions::Validate() const {
   if (stop_doc_fraction <= 0.0 || stop_doc_fraction > 1.0) {
     return Status::InvalidArgument("stop_doc_fraction must be in (0, 1]");
   }
+  if (!spaced_seed.empty()) {
+    // Create() parses the pattern and checks weight == interval_length.
+    Result<SeedExtractor> extractor =
+        SeedExtractor::Create(interval_length, spaced_seed);
+    if (!extractor.ok()) return extractor.status();
+  }
   return Status::OK();
 }
 
@@ -108,6 +115,10 @@ Result<InvertedIndex> IndexBuilder::BuildRange(
 
   const int n = options.interval_length;
   const bool dense = n <= TermDirectory::kDenseLimit;
+  // Validate() above guarantees this resolves.
+  Result<SeedExtractor> extractor =
+      SeedExtractor::Create(n, options.spaced_seed);
+  CAFE_RETURN_IF_ERROR(extractor.status());
 
   // Pass 1: posting and document counts per term.
   {
@@ -116,12 +127,12 @@ Result<InvertedIndex> IndexBuilder::BuildRange(
     for (uint32_t doc = 0; doc < num_docs; ++doc) {
       CAFE_RETURN_IF_ERROR(collection.GetSequence(doc_begin + doc, &seq));
       index.doc_lengths_[doc] = static_cast<uint32_t>(seq.size());
-      ForEachInterval(seq, n, options.stride,
-                      [&](uint32_t /*pos*/, uint32_t term) {
-                        TermEntry* e = index.directory_.FindOrCreate(term);
-                        ++e->posting_count;
-                        if (last_doc.MarkSeen(term, doc)) ++e->doc_count;
-                      });
+      extractor->ForEach(seq, options.stride,
+                         [&](uint32_t /*pos*/, uint32_t term) {
+                           TermEntry* e = index.directory_.FindOrCreate(term);
+                           ++e->posting_count;
+                           if (last_doc.MarkSeen(term, doc)) ++e->doc_count;
+                         });
     }
   }
 
@@ -159,14 +170,14 @@ Result<InvertedIndex> IndexBuilder::BuildRange(
     std::string seq;
     for (uint32_t doc = 0; doc < num_docs; ++doc) {
       CAFE_RETURN_IF_ERROR(collection.GetSequence(doc_begin + doc, &seq));
-      ForEachInterval(seq, n, options.stride,
-                      [&](uint32_t pos, uint32_t term) {
-                        if (index.directory_.Find(term) == nullptr) return;
-                        uint64_t* slot = cursors.Slot(term);
-                        flat_docs[*slot] = doc;
-                        if (positional) flat_positions[*slot] = pos;
-                        ++*slot;
-                      });
+      extractor->ForEach(seq, options.stride,
+                         [&](uint32_t pos, uint32_t term) {
+                           if (index.directory_.Find(term) == nullptr) return;
+                           uint64_t* slot = cursors.Slot(term);
+                           flat_docs[*slot] = doc;
+                           if (positional) flat_positions[*slot] = pos;
+                           ++*slot;
+                         });
     }
   }
 

@@ -1,7 +1,8 @@
 // On-disk format of the inverted index.
 //
-//   magic "CAFIDX1\0"
+//   magic "CAFIDX1\0" (contiguous seeds) or "CAFIDX2\0" (spaced seeds)
 //   u8  interval_length, u8 granularity, u32 stride, f64 stop_doc_fraction
+//   [v2 only] u8 seed_span, seed_span bytes of '0'/'1' pattern
 //   vbyte num_docs+1, vbyte(doc length + 1) per doc
 //   vbyte num_terms+1
 //   per term, in ascending term order:
@@ -25,7 +26,11 @@
 namespace cafe {
 namespace {
 
-constexpr char kMagic[8] = {'C', 'A', 'F', 'I', 'D', 'X', '1', '\0'};
+// Version 1 has no spaced-seed header field; indexes built without a
+// pattern still serialize as v1 byte-for-byte, so every pre-existing
+// index (and tool that compares default index files) is unaffected.
+constexpr char kMagicV1[8] = {'C', 'A', 'F', 'I', 'D', 'X', '1', '\0'};
+constexpr char kMagicV2[8] = {'C', 'A', 'F', 'I', 'D', 'X', '2', '\0'};
 
 void AppendVByteStr(std::string* out, uint64_t v) {
   std::vector<uint8_t> tmp;
@@ -73,7 +78,8 @@ Status ParseIndexPrefix(std::string_view data, IndexPrefix* out) {
   if (data.size() < 8 + 14) {
     return Status::Corruption("index: too short");
   }
-  if (std::memcmp(data.data(), kMagic, 8) != 0) {
+  const bool v2 = std::memcmp(data.data(), kMagicV2, 8) == 0;
+  if (!v2 && std::memcmp(data.data(), kMagicV1, 8) != 0) {
     return Status::Corruption("index: bad magic");
   }
 
@@ -93,6 +99,18 @@ Status ParseIndexPrefix(std::string_view data, IndexPrefix* out) {
   }
   options.stride = stride;
   options.stop_doc_fraction = stop;
+  if (v2) {
+    uint8_t span = 0;
+    if (!p.ReadRaw(&span, 1)) {
+      return Status::Corruption("index: truncated header");
+    }
+    if (span > 0) {
+      options.spaced_seed.resize(span);
+      if (!p.ReadRaw(options.spaced_seed.data(), span)) {
+        return Status::Corruption("index: truncated seed pattern");
+      }
+    }
+  }
   CAFE_RETURN_IF_ERROR(options.Validate());
   out->options = options;
 
@@ -157,13 +175,18 @@ Status ParseIndexPrefix(std::string_view data, IndexPrefix* out) {
 
 void InvertedIndex::Serialize(std::string* out) const {
   out->clear();
-  out->append(kMagic, 8);
+  const bool v2 = !options_.spaced_seed.empty();
+  out->append(v2 ? kMagicV2 : kMagicV1, 8);
   out->push_back(static_cast<char>(options_.interval_length));
   out->push_back(static_cast<char>(options_.granularity));
   uint32_t stride = options_.stride;
   out->append(reinterpret_cast<const char*>(&stride), 4);
   double stop = options_.stop_doc_fraction;
   out->append(reinterpret_cast<const char*>(&stop), 8);
+  if (v2) {
+    out->push_back(static_cast<char>(options_.spaced_seed.size()));
+    out->append(options_.spaced_seed);
+  }
 
   AppendVByteStr(out, doc_lengths_.size() + 1);
   for (uint32_t len : doc_lengths_) AppendVByteStr(out, uint64_t{len} + 1);

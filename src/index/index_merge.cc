@@ -18,7 +18,7 @@ Result<InvertedIndex> MergeIndexes(
     return Status::InvalidArgument(
         "need at least one shard and matching doc_offsets");
   }
-  const IndexOptions& options = shards[0]->options();
+  IndexOptions options = shards[0]->options();
   if (options.stop_doc_fraction < 1.0) {
     return Status::InvalidArgument(
         "stopped shards cannot be merged (stopping is a whole-collection "
@@ -27,11 +27,18 @@ Result<InvertedIndex> MergeIndexes(
   uint64_t total_docs = 0;
   for (size_t i = 0; i < shards.size(); ++i) {
     const IndexOptions& o = shards[i]->options();
+    // Granularity may differ across parts: a positional shard carries a
+    // superset of the document-level information, so a mixed set merges
+    // at the weaker (document) granularity. Everything that shapes the
+    // term space itself must still agree exactly.
     if (o.interval_length != options.interval_length ||
         o.stride != options.stride ||
-        o.granularity != options.granularity ||
+        o.spaced_seed != options.spaced_seed ||
         o.stop_doc_fraction != options.stop_doc_fraction) {
       return Status::InvalidArgument("shard options differ");
+    }
+    if (o.granularity == IndexGranularity::kDocument) {
+      options.granularity = IndexGranularity::kDocument;
     }
     if (doc_offsets[i] != total_docs) {
       return Status::InvalidArgument(
@@ -75,15 +82,18 @@ Result<InvertedIndex> MergeIndexes(
       shards[si]->ForEachPosting(
           term, [&](uint32_t doc, uint32_t tf, const uint32_t* pos,
                     uint32_t npos) {
-            (void)tf;
             if (positional) {
+              // Merged granularity is positional only when every shard
+              // is, so `pos` is always available here.
               for (uint32_t k = 0; k < npos; ++k) {
                 docs.push_back(offset + doc);
                 positions.push_back(pos[k]);
               }
             } else {
               // Document granularity: keep one entry per occurrence so
-              // the re-encoder reconstructs tf from run lengths.
+              // the re-encoder reconstructs tf from run lengths. A
+              // positional shard merging into a document-level index
+              // contributes tf occurrences and drops its offsets.
               for (uint32_t k = 0; k < tf; ++k) {
                 docs.push_back(offset + doc);
               }

@@ -12,6 +12,12 @@ Result<IndexMode> ParseIndexMode(const std::string& name) {
       "unknown index mode '" + name + "' (want memory, cached or mmap)");
 }
 
+Result<IndexMode> ResolveIndexModeFlags(const std::string& index_mode,
+                                        bool disk_index) {
+  if (!index_mode.empty()) return ParseIndexMode(index_mode);
+  return disk_index ? IndexMode::kCached : IndexMode::kMemory;
+}
+
 const char* IndexModeName(IndexMode mode) {
   switch (mode) {
     case IndexMode::kMemory:

@@ -38,6 +38,14 @@ enum class IndexMode {
 /// "disk" for cached); InvalidArgument otherwise.
 [[nodiscard]] Result<IndexMode> ParseIndexMode(const std::string& name);
 
+/// One shared resolution of the tools' flag pair: a non-empty
+/// --index-mode value wins (and is parsed exactly once); otherwise the
+/// legacy --disk-index boolean selects cached, default memory. Both
+/// cafe_cli and cafe_serve route through this, so the flag semantics
+/// cannot drift between them.
+[[nodiscard]] Result<IndexMode> ResolveIndexModeFlags(
+    const std::string& index_mode, bool disk_index);
+
 const char* IndexModeName(IndexMode mode);
 
 /// An opened index: owns whichever implementation the mode selected

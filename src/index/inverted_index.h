@@ -40,8 +40,19 @@ struct IndexOptions {
   /// intervals. The query side always extracts at stride 1.
   uint32_t stride = 1;
 
-  /// Document-level or positional postings.
+  /// Document-level or positional postings. Positional postings append
+  /// delta-coded in-sequence offsets to every posting — the raw
+  /// material for diagonal ranking and seed chaining; document
+  /// granularity stores term frequencies only and costs far less space.
   IndexGranularity granularity = IndexGranularity::kPositional;
+
+  /// Spaced-seed extraction pattern ('1' = care, '0' = don't care;
+  /// alphabet/spaced_seed.h). Empty (the default) extracts contiguous
+  /// intervals of `interval_length`; otherwise the pattern's weight
+  /// must equal `interval_length` (terms stay 2n bits either way).
+  /// Serialized in the index header (format version 2), so readers and
+  /// the query side always extract with the builder's pattern.
+  std::string spaced_seed;
 
   /// Index stopping: a term occurring in more than this fraction of the
   /// sequences is dropped from the index (1.0 disables stopping). The

@@ -1,0 +1,72 @@
+// SeedExtractor: one resolved extraction plan for both the builder and
+// the query side — contiguous intervals of length n (the default) or a
+// spaced-seed pattern whose weight is n. Both emit (position, 2n-bit
+// term) through the same callback shape, so everything downstream of
+// extraction (directory, postings, coarse ranking, chaining) is
+// agnostic to which was used. Resolve once, then extract per sequence.
+
+#ifndef CAFE_INDEX_SEED_EXTRACT_H_
+#define CAFE_INDEX_SEED_EXTRACT_H_
+
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "alphabet/spaced_seed.h"
+#include "index/interval.h"
+#include "util/status.h"
+
+namespace cafe {
+
+static_assert(kMinSeedWeight == kMinIntervalLength &&
+                  kMaxSeedWeight == kMaxIntervalLength,
+              "seed weight bounds must mirror the interval length bounds");
+
+class SeedExtractor {
+ public:
+  /// Resolves the plan: an empty `spaced_pattern` selects contiguous
+  /// intervals of `interval_length`; otherwise the pattern is parsed
+  /// and its weight must equal `interval_length`.
+  [[nodiscard]] static Result<SeedExtractor> Create(
+      int interval_length, std::string_view spaced_pattern) {
+    SeedExtractor ex;
+    ex.n_ = interval_length;
+    if (!spaced_pattern.empty()) {
+      Result<SpacedSeed> seed = SpacedSeed::Parse(spaced_pattern);
+      if (!seed.ok()) return seed.status();
+      if (seed->weight() != interval_length) {
+        return Status::InvalidArgument(
+            "spaced seed weight must equal interval_length");
+      }
+      ex.seed_ = std::move(*seed);
+    }
+    return ex;
+  }
+
+  bool spaced() const { return seed_.has_value(); }
+
+  /// Window width a term occupies in the sequence: the interval length
+  /// for contiguous extraction, the pattern span for spaced seeds.
+  int window() const { return seed_.has_value() ? seed_->span() : n_; }
+
+  /// Calls `fn(position, term)` for every valid window at positions
+  /// 0, stride, 2*stride, ...
+  template <typename Fn>
+  void ForEach(std::string_view seq, uint32_t stride, Fn&& fn) const {
+    if (seed_.has_value()) {
+      ForEachSpacedSeed(seq, *seed_, stride, std::forward<Fn>(fn));
+    } else {
+      ForEachInterval(seq, n_, stride, std::forward<Fn>(fn));
+    }
+  }
+
+ private:
+  SeedExtractor() = default;
+
+  int n_ = 0;
+  std::optional<SpacedSeed> seed_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_INDEX_SEED_EXTRACT_H_

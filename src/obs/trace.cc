@@ -15,43 +15,53 @@ void SearchTrace::Merge(const SearchTrace& other) {
   candidates_ranked += other.candidates_ranked;
   candidates_kept += other.candidates_kept;
   candidates_discarded += other.candidates_discarded;
+  chain_candidates_in += other.chain_candidates_in;
+  chain_anchors += other.chain_anchors;
+  chain_candidates_kept += other.chain_candidates_kept;
+  chain_candidates_dropped += other.chain_candidates_dropped;
   candidates_aligned += other.candidates_aligned;
   cells_computed += other.cells_computed;
   hits_reported += other.hits_reported;
   coarse_micros += other.coarse_micros;
+  chain_micros += other.chain_micros;
   fine_micros += other.fine_micros;
   post_micros += other.post_micros;
   total_micros += other.total_micros;
 }
 
 std::string SearchTrace::CountersJson() const {
-  char buf[640];
+  char buf[896];
   std::snprintf(
       buf, sizeof(buf),
       "{\"queries\":%" PRIu64 ",\"intervals_extracted\":%" PRIu64
       ",\"terms_distinct\":%" PRIu64 ",\"terms_unindexed\":%" PRIu64
       ",\"postings_lists_touched\":%" PRIu64 ",\"postings_decoded\":%" PRIu64
       ",\"candidates_ranked\":%" PRIu64 ",\"candidates_kept\":%" PRIu64
-      ",\"candidates_discarded\":%" PRIu64 ",\"candidates_aligned\":%" PRIu64
-      ",\"cells_computed\":%" PRIu64 ",\"hits_reported\":%" PRIu64 "}",
+      ",\"candidates_discarded\":%" PRIu64 ",\"chain_candidates_in\":%" PRIu64
+      ",\"chain_anchors\":%" PRIu64 ",\"chain_candidates_kept\":%" PRIu64
+      ",\"chain_candidates_dropped\":%" PRIu64
+      ",\"candidates_aligned\":%" PRIu64 ",\"cells_computed\":%" PRIu64
+      ",\"hits_reported\":%" PRIu64 "}",
       queries, intervals_extracted, terms_distinct, terms_unindexed,
       postings_lists_touched, postings_decoded, candidates_ranked,
-      candidates_kept, candidates_discarded, candidates_aligned,
-      cells_computed, hits_reported);
+      candidates_kept, candidates_discarded, chain_candidates_in,
+      chain_anchors, chain_candidates_kept, chain_candidates_dropped,
+      candidates_aligned, cells_computed, hits_reported);
   return buf;
 }
 
 std::string SearchTrace::ToJson() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                ",\"timings_us\":{\"coarse\":%.1f,\"fine\":%.1f,"
-                "\"post\":%.1f,\"total\":%.1f}}",
-                coarse_micros, fine_micros, post_micros, total_micros);
+                ",\"timings_us\":{\"coarse\":%.1f,\"chain\":%.1f,"
+                "\"fine\":%.1f,\"post\":%.1f,\"total\":%.1f}}",
+                coarse_micros, chain_micros, fine_micros, post_micros,
+                total_micros);
   return "{\"counters\":" + CountersJson() + buf;
 }
 
 std::string SearchTrace::ToText() const {
-  char buf[1024];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "  funnel: %" PRIu64 " intervals -> %" PRIu64
@@ -59,14 +69,17 @@ std::string SearchTrace::ToText() const {
       " lists, %" PRIu64 " postings decoded -> %" PRIu64
       " candidates ranked (%" PRIu64 " discarded) -> %" PRIu64
       " aligned -> %" PRIu64 " hits\n"
+      "  chain:  %" PRIu64 " candidates in -> %" PRIu64
+      " anchors -> %" PRIu64 " kept (%" PRIu64 " dropped)\n"
       "  work:   %" PRIu64 " DP cells over %" PRIu64 " strand pass(es)\n"
-      "  time:   coarse %.1f us, fine %.1f us, post %.1f us, "
-      "total %.1f us\n",
+      "  time:   coarse %.1f us, chain %.1f us, fine %.1f us, "
+      "post %.1f us, total %.1f us\n",
       intervals_extracted, terms_distinct, terms_unindexed,
       postings_lists_touched, postings_decoded, candidates_ranked,
       candidates_discarded, candidates_aligned, hits_reported,
-      cells_computed, queries, coarse_micros, fine_micros, post_micros,
-      total_micros);
+      chain_candidates_in, chain_anchors, chain_candidates_kept,
+      chain_candidates_dropped, cells_computed, queries, coarse_micros,
+      chain_micros, fine_micros, post_micros, total_micros);
   return buf;
 }
 

@@ -41,6 +41,17 @@ struct SearchTrace {
   uint64_t candidates_kept = 0;
   /// Candidates the coarse cut discarded (ranked - kept).
   uint64_t candidates_discarded = 0;
+  /// Coarse candidates entering the chaining stage (0 when chaining is
+  /// off or inapplicable — e.g. the index lacks positions).
+  uint64_t chain_candidates_in = 0;
+  /// Seed anchors (query position, subject position pairs) gathered
+  /// across all chained candidates.
+  uint64_t chain_anchors = 0;
+  /// Candidates whose best collinear chain met min_chain_score; only
+  /// these reach the fine phase when chaining is on.
+  uint64_t chain_candidates_kept = 0;
+  /// Candidates the chaining stage filtered out (in - kept).
+  uint64_t chain_candidates_dropped = 0;
   /// Sequences that received fine (DP) scoring.
   uint64_t candidates_aligned = 0;
   /// DP cells computed (banded + full, including rescore/traceback).
@@ -50,6 +61,8 @@ struct SearchTrace {
 
   // --- Per-phase wall clock (microseconds; NOT deterministic) --------
   double coarse_micros = 0.0;
+  /// Chaining stage (between coarse and fine; 0 when chaining is off).
+  double chain_micros = 0.0;
   double fine_micros = 0.0;
   /// Post-processing: full rescoring and traceback of reported hits.
   double post_micros = 0.0;

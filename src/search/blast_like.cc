@@ -11,7 +11,7 @@ namespace cafe {
 
 Result<SearchResult> BlastLikeSearch::Search(std::string_view query,
                                              const SearchOptions& options) {
-  CAFE_RETURN_IF_ERROR(options.scoring.Validate());
+  CAFE_RETURN_IF_ERROR(options.Validate());
   const int w = params_.seed_length;
   if (w < kMinIntervalLength || w > kMaxIntervalLength) {
     return Status::InvalidArgument("seed_length out of range");

@@ -5,20 +5,25 @@
 
 #include "index/interval.h"
 #include "index/inverted_index.h"
+#include "index/seed_extract.h"
 #include "util/timer.h"
 
 namespace cafe {
 namespace {
 
 // Groups the query's interval occurrences by term so each postings list
-// is decoded exactly once.
+// is decoded exactly once. Extraction follows the index's own plan
+// (contiguous intervals or its spaced-seed pattern) at stride 1.
 std::unordered_map<uint32_t, std::vector<uint32_t>> QueryTermPositions(
-    std::string_view query, int n) {
+    std::string_view query, const IndexOptions& options) {
   std::unordered_map<uint32_t, std::vector<uint32_t>> terms;
-  ForEachInterval(query, n, /*stride=*/1,
-                  [&](uint32_t pos, uint32_t term) {
-                    terms[term].push_back(pos);
-                  });
+  Result<SeedExtractor> extractor = SeedExtractor::Create(
+      options.interval_length, options.spaced_seed);
+  if (!extractor.ok()) return terms;  // validated at build/load time
+  extractor->ForEach(query, /*stride=*/1,
+                     [&](uint32_t pos, uint32_t term) {
+                       terms[term].push_back(pos);
+                     });
   return terms;
 }
 
@@ -81,8 +86,7 @@ std::vector<CoarseCandidate> CoarseRanker::Rank(
 std::vector<CoarseCandidate> CoarseRanker::RankHitCount(
     std::string_view query, uint32_t limit, SearchStats* stats,
     obs::SearchTrace* trace) const {
-  const int n = index_->options().interval_length;
-  auto terms = QueryTermPositions(query, n);
+  auto terms = QueryTermPositions(query, index_->options());
   TraceQueryTerms(index_, terms, trace);
 
   std::vector<double> acc(index_->num_docs(), 0.0);
@@ -119,9 +123,8 @@ std::vector<CoarseCandidate> CoarseRanker::RankHitCount(
 std::vector<CoarseCandidate> CoarseRanker::RankDiagonal(
     std::string_view query, uint32_t limit, uint32_t frame_width,
     SearchStats* stats, obs::SearchTrace* trace) const {
-  const int n = index_->options().interval_length;
   if (frame_width == 0) frame_width = 16;
-  auto terms = QueryTermPositions(query, n);
+  auto terms = QueryTermPositions(query, index_->options());
   TraceQueryTerms(index_, terms, trace);
   const int64_t qlen = static_cast<int64_t>(query.size());
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "alphabet/nucleotide.h"
+#include "alphabet/spaced_seed.h"
 #include "util/thread_pool.h"
 
 namespace cafe {
@@ -19,6 +20,44 @@ bool WorseFirst(const SearchHit& a, const SearchHit& b) {
 }
 
 }  // namespace
+
+Result<ChainMode> ParseChainMode(const std::string& name) {
+  if (name == "off") return ChainMode::kOff;
+  if (name == "filter") return ChainMode::kFilter;
+  return Status::InvalidArgument("unknown chain mode '" + name +
+                                 "' (expected off|filter)");
+}
+
+const char* ChainModeName(ChainMode mode) {
+  switch (mode) {
+    case ChainMode::kOff:
+      return "off";
+    case ChainMode::kFilter:
+      return "filter";
+  }
+  return "unknown";
+}
+
+Status SearchOptions::Validate() const {
+  CAFE_RETURN_IF_ERROR(scoring.Validate());
+  if (max_results == 0) {
+    return Status::InvalidArgument("max_results must be >= 1");
+  }
+  if (band < 0) {
+    return Status::InvalidArgument("band must be >= 0");
+  }
+  if (frame_width == 0) {
+    return Status::InvalidArgument("frame_width must be >= 1");
+  }
+  if (chain_mode != ChainMode::kOff && min_chain_score == 0) {
+    return Status::InvalidArgument("min_chain_score must be >= 1");
+  }
+  if (!seed_pattern.empty()) {
+    Result<SpacedSeed> seed = SpacedSeed::Parse(seed_pattern);
+    if (!seed.ok()) return seed.status();
+  }
+  return Status::OK();
+}
 
 void SearchStats::Accumulate(const SearchStats& other) {
   coarse_seconds += other.coarse_seconds;

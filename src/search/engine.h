@@ -40,6 +40,24 @@ enum class CoarseRankMode {
   kDiagonal,
 };
 
+/// Whether the chaining middle stage (search/chain.h) runs between the
+/// coarse ranking and the fine alignment phase.
+enum class ChainMode : uint8_t {
+  /// No chaining: every coarse candidate is fine-aligned (the classic
+  /// two-phase pipeline).
+  kOff,
+  /// Diagonal-filter + collinear chaining: only candidates whose seed
+  /// matches form a collinear chain of at least min_chain_score seeds
+  /// reach the fine phase. Requires a positional index; silently falls
+  /// back to kOff when positions are unavailable.
+  kFilter,
+};
+
+/// Parses "off" | "filter"; InvalidArgument otherwise.
+[[nodiscard]] Result<ChainMode> ParseChainMode(const std::string& name);
+
+const char* ChainModeName(ChainMode mode);
+
 struct SearchOptions {
   /// Number of hits to report.
   uint32_t max_results = 20;
@@ -56,6 +74,23 @@ struct SearchOptions {
   uint32_t frame_width = 16;
 
   CoarseRankMode coarse_mode = CoarseRankMode::kDiagonal;
+
+  /// Partitioned search only: run the chaining middle stage between the
+  /// coarse and fine phases (see ChainMode).
+  ChainMode chain_mode = ChainMode::kOff;
+
+  /// Minimum collinear chain length (in seed anchors) a candidate needs
+  /// to survive the chaining stage. Ignored when chain_mode is kOff.
+  uint32_t min_chain_score = 2;
+
+  /// Expected seed extraction pattern of the index ('1'/'0', see
+  /// alphabet/spaced_seed.h). Empty accepts whatever the index was
+  /// built with; non-empty makes partitioned search fail with
+  /// InvalidArgument when the index's pattern differs — a guard for
+  /// callers that baked assumptions about seed shape into their
+  /// queries. The all-ones pattern matches a contiguous-interval index
+  /// of the same length.
+  std::string seed_pattern;
 
   /// Populate LocalAlignment (with traceback) for reported hits.
   bool traceback = false;
@@ -106,6 +141,12 @@ struct SearchOptions {
   const Deadline* deadline = nullptr;
 
   ScoringScheme scoring;
+
+  /// Checks every request-derived knob (including the scoring scheme)
+  /// and returns InvalidArgument instead of aborting, so wire-facing
+  /// entry points can reject bad requests gracefully. Every engine's
+  /// Search() calls this first.
+  [[nodiscard]] Status Validate() const;
 };
 
 struct SearchHit {

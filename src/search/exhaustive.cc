@@ -7,7 +7,7 @@ namespace cafe {
 
 Result<SearchResult> ExhaustiveSearch::Search(std::string_view query,
                                               const SearchOptions& options) {
-  CAFE_RETURN_IF_ERROR(options.scoring.Validate());
+  CAFE_RETURN_IF_ERROR(options.Validate());
   if (query.empty()) {
     return Status::InvalidArgument("empty query");
   }

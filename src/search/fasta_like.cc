@@ -8,7 +8,7 @@ namespace cafe {
 
 Result<SearchResult> FastaLikeSearch::Search(std::string_view query,
                                              const SearchOptions& options) {
-  CAFE_RETURN_IF_ERROR(options.scoring.Validate());
+  CAFE_RETURN_IF_ERROR(options.Validate());
   const int k = params_.ktup;
   if (k < kMinIntervalLength || k > 12) {
     return Status::InvalidArgument("ktup out of range");

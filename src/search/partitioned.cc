@@ -4,6 +4,8 @@
 #include <cstddef>
 
 #include "align/smith_waterman.h"
+#include "index/inverted_index.h"
+#include "search/chain.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -69,10 +71,24 @@ void AlignCandidate(const SequenceCollection& collection,
 
 Result<SearchResult> PartitionedSearch::Search(std::string_view query,
                                                const SearchOptions& options) {
-  CAFE_RETURN_IF_ERROR(options.scoring.Validate());
+  CAFE_RETURN_IF_ERROR(options.Validate());
   if (query.size() < static_cast<size_t>(index_->options().interval_length)) {
     return Status::InvalidArgument(
         "query shorter than the index interval length");
+  }
+  if (!options.seed_pattern.empty()) {
+    // A caller that pins the seed shape gets a hard error instead of
+    // silently wrong terms when the index was built differently.
+    const IndexOptions& iopt = index_->options();
+    const std::string effective =
+        iopt.spaced_seed.empty()
+            ? std::string(static_cast<size_t>(iopt.interval_length), '1')
+            : iopt.spaced_seed;
+    if (options.seed_pattern != effective) {
+      return Status::InvalidArgument("seed_pattern does not match the index "
+                                     "(index extracts with '" +
+                                     effective + "')");
+    }
   }
 
   WallTimer total;
@@ -104,6 +120,15 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
     candidates.clear();
   }
 
+  // Chaining middle stage: re-examine each candidate's seed matches as
+  // (qpos, spos) anchors, filter to the best diagonal window, and drop
+  // candidates without a collinear chain of min_chain_score seeds. A
+  // pure pass-through when chaining is off or the index lacks
+  // positions. Sequential and deterministic, like the coarse phase.
+  ChainOutcome chained = ChainCandidates(query, std::move(candidates),
+                                         *index_, options, trace);
+  const std::vector<CoarseCandidate>& survivors = chained.kept;
+
   // Fine phase: local alignment on the candidates only. Each candidate
   // is independent, so with threads > 1 the candidates are spread over a
   // pool of workers, each with its own aligner; per-worker top-k sets
@@ -115,13 +140,13 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
                                  ? ThreadPool::HardwareThreads()
                                  : options.threads;
   const size_t workers =
-      std::min<size_t>(std::max<uint32_t>(requested, 1), candidates.size());
+      std::min<size_t>(std::max<uint32_t>(requested, 1), survivors.size());
 
   if (workers <= 1) {
     // Sequential reference path (--threads 1): no pool is created.
     FineWorker w(options.scoring, options.max_results);
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      AlignCandidate(*collection_, query, options, candidates[i], i, &w);
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      AlignCandidate(*collection_, query, options, survivors[i], i, &w);
       if (w.error_index != SIZE_MAX) return w.error;
     }
     result.hits = w.top.Take();
@@ -135,8 +160,8 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
       states.emplace_back(options.scoring, options.max_results);
     }
     ThreadPool pool(static_cast<unsigned>(workers));
-    pool.ParallelFor(candidates.size(), [&](size_t i, unsigned w) {
-      AlignCandidate(*collection_, query, options, candidates[i], i,
+    pool.ParallelFor(survivors.size(), [&](size_t i, unsigned w) {
+      AlignCandidate(*collection_, query, options, survivors[i], i,
                      &states[w]);
     });
     const FineWorker* failed = nullptr;
@@ -189,16 +214,21 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
       CAFE_RETURN_IF_ERROR(collection_->GetSequence(hit.seq_id, &seq));
       // Re-derive the candidate diagonal for a banded traceback; fall
       // back to the full matrix when the coarse phase had no positions.
+      // The chain's band hint (>= options.band) widens the traceback
+      // window so the reported alignment is not clipped to a band
+      // narrower than the anchors it chained.
       const CoarseCandidate* cand = nullptr;
-      for (const CoarseCandidate& c : candidates) {
-        if (c.doc == hit.seq_id) {
-          cand = &c;
+      int traceback_band = options.band;
+      for (size_t ci = 0; ci < survivors.size(); ++ci) {
+        if (survivors[ci].doc == hit.seq_id) {
+          cand = &survivors[ci];
+          traceback_band = chained.band_hints[ci];
           break;
         }
       }
       if (cand != nullptr && cand->has_diagonal) {
         Result<LocalAlignment> aln = post_aligner.BandedAlign(
-            query, seq, cand->diagonal, options.band);
+            query, seq, cand->diagonal, traceback_band);
         if (!aln.ok()) return aln.status();
         hit.alignment = std::move(*aln);
       } else {

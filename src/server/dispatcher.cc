@@ -49,6 +49,8 @@ Result<SearchResult> Dispatcher::Execute(const SearchRequest& request) {
   pending->query = request.query;
   pending->options = request.ToSearchOptions();
   pending->options.threads = options_.search_threads;
+  pending->options.chain_mode = options_.chain_mode;
+  pending->options.min_chain_score = options_.min_chain_score;
   if (request.deadline_millis > 0) {
     pending->deadline = Deadline::AfterMillis(request.deadline_millis);
   }

@@ -50,6 +50,12 @@ struct DispatcherOptions {
   /// batching and the worker pool, which composes safely with
   /// BatchSearch's own fan-out rules.
   uint32_t search_threads = 1;
+  /// Server-side chaining defaults applied to every admitted request
+  /// (the wire protocol carries no chain fields, so the operator's
+  /// flags decide). Chaining only drops non-reportable candidates, so
+  /// turning it on changes cost, not results — see search/chain.h.
+  ChainMode chain_mode = ChainMode::kOff;
+  uint32_t min_chain_score = 2;
   /// When non-null, the dispatcher records the server.* metrics here
   /// (catalogue in docs/OBSERVABILITY.md).
   obs::MetricsRegistry* metrics = nullptr;

@@ -71,10 +71,36 @@ if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$DIR/build.json" > /dev/null
 fi
 
+# Chaining middle stage: --chain=filter must keep the self-hit and
+# surface the chain funnel line under --stats.
+"$CLI" search --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query "$QUERY" --top 3 --chain filter --stats > "$DIR/log" 2>&1
+grep -q "SYN0" "$DIR/log"
+grep -q "chain:" "$DIR/log"
+
+# The spaced-seed build path: weight-8 pattern, searched end to end.
+"$CLI" build --fasta "$DIR/db.fa" --collection "$DIR/db4.col" \
+    --index "$DIR/db4.idx" --seed-pattern 11011011011 > "$DIR/log" 2>&1
+grep -q "postings" "$DIR/log"
+"$CLI" search --collection "$DIR/db4.col" --index "$DIR/db4.idx" \
+    --query "$QUERY" --top 3 --chain filter > "$DIR/log" 2>&1
+grep -q "SYN0" "$DIR/log"
+
 # batch = search over a query file; rejects inline --query.
 "$CLI" batch --collection "$DIR/db.col" --index "$DIR/db.idx" \
     --query-file "$DIR/q.fa" --top 1 > "$DIR/log" 2>&1
 grep -q "probe" "$DIR/log"
+
+# batch over the zero-copy mmap read path answers identically (the
+# per-query timing line is wall-clock, so it is excluded from the
+# comparison).
+"$CLI" batch --collection "$DIR/db.col" --index "$DIR/db.idx" \
+    --query-file "$DIR/q.fa" --top 1 --index-mode=mmap \
+    > "$DIR/log_mmap" 2>&1
+grep -q "probe" "$DIR/log_mmap"
+grep -v "hits in" "$DIR/log" > "$DIR/hits_memory"
+grep -v "hits in" "$DIR/log_mmap" > "$DIR/hits_mmap"
+cmp "$DIR/hits_memory" "$DIR/hits_mmap"
 if "$CLI" batch --collection "$DIR/db.col" --index "$DIR/db.idx" \
     --query ACGTACGTACGT > "$DIR/log" 2>&1; then
   echo "expected failure: batch without --query-file" >&2

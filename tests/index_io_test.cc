@@ -84,6 +84,41 @@ TEST(IndexIoTest, RoundTripDocumentGranularity) {
   ExpectIndexesEqual(*index, *back);
 }
 
+TEST(IndexIoTest, RoundTripSpacedSeedUsesV2Magic) {
+  Result<SequenceCollection> col = TestCollection();
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 5;
+  options.spaced_seed = "1101011";
+  Result<InvertedIndex> index = IndexBuilder::Build(*col, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  std::string data;
+  index->Serialize(&data);
+  // Spaced-seed indexes carry the pattern in the header, which needs
+  // the v2 magic; default indexes must keep writing v1 bytes so their
+  // serialized form is unchanged (see index_io.cc).
+  ASSERT_GE(data.size(), 8u);
+  EXPECT_EQ(data.substr(0, 7), "CAFIDX2");
+  Result<InvertedIndex> back = InvertedIndex::Deserialize(data);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->options().spaced_seed, "1101011");
+  ExpectIndexesEqual(*index, *back);
+}
+
+TEST(IndexIoTest, DefaultIndexKeepsV1Magic) {
+  Result<SequenceCollection> col = TestCollection();
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 8;
+  Result<InvertedIndex> index = IndexBuilder::Build(*col, options);
+  ASSERT_TRUE(index.ok());
+  std::string data;
+  index->Serialize(&data);
+  ASSERT_GE(data.size(), 8u);
+  EXPECT_EQ(data.substr(0, 7), "CAFIDX1");
+}
+
 TEST(IndexIoTest, SaveLoadFile) {
   Result<SequenceCollection> col = TestCollection();
   ASSERT_TRUE(col.ok());

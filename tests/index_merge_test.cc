@@ -114,6 +114,61 @@ TEST(IndexMergeTest, SingleShardIdentity) {
   ExpectEquivalent(*direct, *merged);
 }
 
+TEST(IndexMergeTest, MixedGranularityMergeDowngradesToDocument) {
+  Result<SequenceCollection> col = TestCollection(20, 71);
+  ASSERT_TRUE(col.ok());
+  IndexOptions pos_opt;
+  pos_opt.interval_length = 6;
+  IndexOptions doc_opt = pos_opt;
+  doc_opt.granularity = IndexGranularity::kDocument;
+  // Shard 0 (docs 0..9) positional, shard 1 (docs 10..19) document.
+  Result<InvertedIndex> a =
+      IndexBuilder::BuildRange(*col, pos_opt, 0, 10);
+  Result<InvertedIndex> b =
+      IndexBuilder::BuildRange(*col, doc_opt, 10, 20);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<const InvertedIndex*> shards = {&*a, &*b};
+  Result<InvertedIndex> merged = MergeIndexes(shards, {0, 10});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  // A merge with any document-granularity shard can only answer
+  // document-granularity queries.
+  EXPECT_EQ(merged->options().granularity, IndexGranularity::kDocument);
+  // The result equals building the whole collection at document
+  // granularity: positional shards contribute their tf, not offsets.
+  Result<InvertedIndex> direct = IndexBuilder::Build(*col, doc_opt);
+  ASSERT_TRUE(direct.ok());
+  ExpectEquivalent(*direct, *merged);
+}
+
+TEST(IndexMergeTest, ShardedEqualsDirectWithSpacedSeed) {
+  Result<SequenceCollection> col = TestCollection(24, 72);
+  ASSERT_TRUE(col.ok());
+  IndexOptions options;
+  options.interval_length = 5;
+  options.spaced_seed = "1101011";
+  Result<InvertedIndex> direct = IndexBuilder::Build(*col, options);
+  Result<InvertedIndex> sharded = BuildSharded(*col, options, 7);
+  ASSERT_TRUE(direct.ok() && sharded.ok())
+      << direct.status().ToString() << sharded.status().ToString();
+  ExpectEquivalent(*direct, *sharded);
+}
+
+TEST(IndexMergeTest, RejectsMismatchedSpacedSeeds) {
+  Result<SequenceCollection> col = TestCollection(10, 73);
+  ASSERT_TRUE(col.ok());
+  IndexOptions a;
+  a.interval_length = 5;
+  a.spaced_seed = "1101011";
+  IndexOptions b;
+  b.interval_length = 5;
+  b.spaced_seed = "1110101";
+  Result<InvertedIndex> ia = IndexBuilder::Build(*col, a);
+  Result<InvertedIndex> ib = IndexBuilder::Build(*col, b);
+  ASSERT_TRUE(ia.ok() && ib.ok());
+  std::vector<const InvertedIndex*> shards = {&*ia, &*ib};
+  EXPECT_TRUE(MergeIndexes(shards, {0, 10}).status().IsInvalidArgument());
+}
+
 TEST(IndexMergeTest, RejectsMismatchedOptions) {
   Result<SequenceCollection> col = TestCollection(10, 66);
   ASSERT_TRUE(col.ok());

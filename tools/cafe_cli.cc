@@ -5,11 +5,13 @@
 //   cafe_cli build --fasta db.fa --collection db.col --index db.idx
 //       [--interval 8] [--stride 1] [--granularity positional|document]
 //       [--stop FRACTION] [--threads N]
+//       [--seed-pattern 1101011]   (spaced seed; '1' count = interval)
 //   cafe_cli info --collection db.col [--index db.idx]
 //   cafe_cli search --collection db.col --index db.idx
 //       (--query ACGT... | --query-file q.fa)
 //       [--top 10] [--candidates 100] [--band 48] [--mode diagonal|hitcount]
 //       [--both-strands] [--evalues] [--traceback]
+//       [--chain off|filter] [--min-chain N] [--seed-pattern P]
 //       [--index-mode memory|cached|mmap]   (--disk-index = cached)
 //       [--threads N]   (default: one per hardware thread; 1 = sequential)
 //       [--stats[=json]]
@@ -41,6 +43,7 @@
 #include "index/inverted_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "search/chain.h"
 #include "search/partitioned.h"
 #include "seqstore/packed_scan_simd.h"
 #include "sim/generator.h"
@@ -65,6 +68,7 @@ int Usage() {
       "  build    (--fasta FILE | --genbank FILE) --collection FILE\n"
       "           --index FILE\n"
       "           [--interval N] [--stride N] [--granularity g] [--stop F]\n"
+      "           [--seed-pattern P]  (spaced seed; '1' count = interval)\n"
       "           [--shards N] [--threads N] [--stats[=json]]\n"
       "  info     --collection FILE [--index FILE]\n"
       "  terms    --index FILE [--top N]\n"
@@ -72,6 +76,7 @@ int Usage() {
       "           (--query SEQ | --query-file FILE) [--top N]\n"
       "           [--candidates N] [--band N] [--mode diagonal|hitcount]\n"
       "           [--both-strands] [--evalues] [--traceback]\n"
+      "           [--chain off|filter] [--min-chain N] [--seed-pattern P]\n"
       "           [--index-mode memory|cached|mmap]  (--disk-index = "
       "cached)\n"
       "           [--threads N]  (0 = one per hardware thread)\n"
@@ -128,6 +133,14 @@ Status CmdBuild(FlagParser& flags) {
   options.interval_length = static_cast<int>(flags.GetInt("interval", 8));
   options.stride = static_cast<uint32_t>(flags.GetInt("stride", 1));
   options.stop_doc_fraction = flags.GetDouble("stop", 1.0);
+  options.spaced_seed = flags.GetString("seed-pattern", "");
+  if (!options.spaced_seed.empty() && !flags.Has("interval")) {
+    // The seed's weight IS the interval length; deriving it here means
+    // --seed-pattern alone is a complete build spec. An explicit
+    // --interval still has to agree (IndexOptions::Validate checks).
+    options.interval_length = static_cast<int>(std::count(
+        options.spaced_seed.begin(), options.spaced_seed.end(), '1'));
+  }
   std::string gran = flags.GetString("granularity", "positional");
   uint32_t shards = static_cast<uint32_t>(flags.GetInt("shards", 0));
   int64_t threads_flag = flags.GetInt("threads", 1);
@@ -313,6 +326,10 @@ Status CmdSearch(FlagParser& flags, bool batch_mode) {
   options.band = static_cast<int>(flags.GetInt("band", 48));
   options.search_both_strands = flags.GetBool("both-strands");
   options.traceback = flags.GetBool("traceback");
+  std::string chain_flag = flags.GetString("chain", "off");
+  options.min_chain_score =
+      static_cast<uint32_t>(flags.GetInt("min-chain", 2));
+  options.seed_pattern = flags.GetString("seed-pattern", "");
   // 0 = one worker per hardware thread (the serving default); 1 forces
   // the sequential reference path.
   int64_t threads_flag = flags.GetInt("threads", 0);
@@ -344,18 +361,17 @@ Status CmdSearch(FlagParser& flags, bool batch_mode) {
   } else if (mode != "diagonal" && mode != "diag") {
     return Status::InvalidArgument("unknown mode: " + mode);
   }
+  Result<ChainMode> chain_mode = ParseChainMode(chain_flag);
+  if (!chain_mode.ok()) return chain_mode.status();
+  options.chain_mode = *chain_mode;
 
   Result<SequenceCollection> col = SequenceCollection::Load(col_path);
   if (!col.ok()) return col.status();
 
-  // --index-mode picks the read path; the legacy --disk-index boolean
-  // is an alias for cached. Default: everything in memory.
-  IndexMode index_mode = use_disk ? IndexMode::kCached : IndexMode::kMemory;
-  if (!index_mode_flag.empty()) {
-    Result<IndexMode> parsed = ParseIndexMode(index_mode_flag);
-    if (!parsed.ok()) return parsed.status();
-    index_mode = *parsed;
-  }
+  Result<IndexMode> resolved = ResolveIndexModeFlags(index_mode_flag,
+                                                     use_disk);
+  if (!resolved.ok()) return resolved.status();
+  IndexMode index_mode = *resolved;
 
   obs::MetricsRegistry registry;
   Result<IndexReader> reader = IndexReader::Open(idx_path, index_mode);
@@ -366,6 +382,7 @@ Status CmdSearch(FlagParser& flags, bool batch_mode) {
     // the stats verb shows which tier served the hot loops.
     AttachPackedScanMetrics(&registry);
     AttachAlignSimdMetrics(&registry);
+    AttachChainMetrics(&registry);
   }
   const PostingSource* source = reader->source();
 

@@ -3,6 +3,7 @@
 //   cafe_serve --collection db.col --index db.idx
 //       [--host 127.0.0.1] [--port 0] [--port-file FILE]
 //       [--workers N] [--queue N] [--batch N] [--search-threads N]
+//       [--chain off|filter] [--min-chain N]
 //       [--index-mode memory|cached|mmap]   (--disk-index = cached)
 //       [--http-port N] [--http-port-file FILE]
 //       [--slow-ms N] [--flight-capacity N] [--slow-capacity N]
@@ -51,6 +52,7 @@
 #include "index/index_reader.h"
 #include "obs/flight.h"
 #include "obs/log.h"
+#include "search/chain.h"
 #include "search/partitioned.h"
 #include "seqstore/packed_scan_simd.h"
 #include "server/http.h"
@@ -81,6 +83,7 @@ int Usage() {
       "           [--host ADDR] [--port N] [--port-file FILE]\n"
       "           [--workers N] [--queue N] [--batch N]\n"
       "           [--search-threads N]\n"
+      "           [--chain off|filter] [--min-chain N]\n"
       "           [--index-mode memory|cached|mmap]  (--disk-index = "
       "cached)\n"
       "           [--http-port N] [--http-port-file FILE]\n"
@@ -175,6 +178,9 @@ Status Run(FlagParser& flags) {
       static_cast<uint32_t>(flags.GetInt("batch", 8));
   options.dispatcher.search_threads =
       static_cast<uint32_t>(flags.GetInt("search-threads", 1));
+  std::string chain_flag = flags.GetString("chain", "off");
+  options.dispatcher.min_chain_score =
+      static_cast<uint32_t>(flags.GetInt("min-chain", 2));
   int64_t http_port = flags.GetInt("http-port", -1);  // -1 = no listener
   obs::FlightRecorder::Options flight_options;
   flight_options.slow_micros =
@@ -188,15 +194,16 @@ Status Run(FlagParser& flags) {
   if (col_path.empty() || idx_path.empty()) {
     return Status::InvalidArgument("--collection and --index are required");
   }
+  Result<ChainMode> chain_mode = ParseChainMode(chain_flag);
+  if (!chain_mode.ok()) return chain_mode.status();
+  options.dispatcher.chain_mode = *chain_mode;
 
   Result<SequenceCollection> col = SequenceCollection::Load(col_path);
   if (!col.ok()) return col.status();
-  IndexMode index_mode = use_disk ? IndexMode::kCached : IndexMode::kMemory;
-  if (!index_mode_flag.empty()) {
-    Result<IndexMode> parsed = ParseIndexMode(index_mode_flag);
-    if (!parsed.ok()) return parsed.status();
-    index_mode = *parsed;
-  }
+  Result<IndexMode> resolved = ResolveIndexModeFlags(index_mode_flag,
+                                                     use_disk);
+  if (!resolved.ok()) return resolved.status();
+  IndexMode index_mode = *resolved;
   WallTimer open_timer;
   Result<IndexReader> reader = IndexReader::Open(idx_path, index_mode);
   if (!reader.ok()) return reader.status();
@@ -217,6 +224,9 @@ Status Run(FlagParser& flags) {
   // show which tier is serving the coarse scan and the fine alignments.
   AttachPackedScanMetrics(metrics);
   AttachAlignSimdMetrics(metrics);
+  // chain.* counters: the middle-stage funnel (invocations, anchors,
+  // kept/dropped candidates) for the /metrics page.
+  AttachChainMetrics(metrics);
   CAFE_RETURN_IF_ERROR(server.Start());
   server::HttpOptions http_options;
   http_options.bind_address = options.bind_address;
