@@ -162,11 +162,11 @@ double MeasureScoreMcells(SimdLevel level) {
   aligner.set_simd_level(level);
   const int reps = 50;
   volatile int sink = 0;
-  sink += aligner.ScoreOnly(q, t);  // warm caches and the profile
+  sink = sink + aligner.ScoreOnly(q, t);  // warm caches and the profile
   double best = 0.0;
   for (int run = 0; run < 5; ++run) {
     WallTimer timer;
-    for (int i = 0; i < reps; ++i) sink += aligner.ScoreOnly(q, t);
+    for (int i = 0; i < reps; ++i) sink = sink + aligner.ScoreOnly(q, t);
     double mcells =
         static_cast<double>(reps) * qlen * tlen / 1e6 / timer.Seconds();
     if (mcells > best) best = mcells;
@@ -183,12 +183,12 @@ double MeasurePackedMbases(SimdLevel level) {
   const size_t len = 4000;
   const int reps = 20000;
   volatile size_t sink = 0;
-  sink += PackedMatchCount(a->view(), 1, b->view(), 3, len, level);
+  sink = sink + PackedMatchCount(a->view(), 1, b->view(), 3, len, level);
   double best = 0.0;
   for (int run = 0; run < 5; ++run) {
     WallTimer timer;
     for (int i = 0; i < reps; ++i) {
-      sink += PackedMatchCount(a->view(), 1, b->view(), 3, len, level);
+      sink = sink + PackedMatchCount(a->view(), 1, b->view(), 3, len, level);
     }
     double mbases =
         static_cast<double>(reps) * len / 1e6 / timer.Seconds();

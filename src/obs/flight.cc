@@ -24,13 +24,22 @@ std::string FlightRecord::ToJson() const {
                 "{\"trace_id\":\"%016" PRIx64
                 "\",\"completed_unix_micros\":%lld,\"queue_us\":%" PRIu64
                 ",\"total_us\":%" PRIu64 ",\"hits\":%u,\"status\":%u"
-                ",\"truncated\":%s,\"deadline_expired\":%s",
+                ",\"truncated\":%s,\"deadline_expired\":%s"
+                ",\"sampled\":%s",
                 trace_id, static_cast<long long>(completed_unix_micros),
                 queue_micros, total_micros, hits,
                 static_cast<unsigned>(status_code),
                 truncated ? "true" : "false",
-                deadline_expired ? "true" : "false");
+                deadline_expired ? "true" : "false",
+                sampled ? "true" : "false");
   std::string out = buf;
+  if (sampled) {
+    // One copy-paste from /flightz or /slowz to the timeline.
+    std::snprintf(buf, sizeof(buf),
+                  ",\"tracez\":\"/tracez?trace_id=%016" PRIx64 "\"",
+                  trace_id);
+    out += buf;
+  }
   out += ",\"options_key\":\"";
   out += JsonEscape(options_key);
   out += "\",\"trace\":";
@@ -78,6 +87,18 @@ void FlightRecorder::Record(FlightRecord record) {
     slow_.push_back(std::move(record));
     while (slow_.size() > options_.slow_capacity) slow_.pop_front();
   }
+}
+
+bool FlightRecorder::SlowPinned(uint64_t trace_id) const {
+  if (trace_id == 0) return false;
+  // Relaxed precheck: nothing has ever been pinned, so the common
+  // (healthy-service) path never touches the mutex.
+  if (slow_recorded_.load(std::memory_order_relaxed) == 0) return false;
+  MutexLock lock(&slow_mu_);
+  for (const FlightRecord& record : slow_) {
+    if (record.trace_id == trace_id) return true;
+  }
+  return false;
 }
 
 std::vector<FlightRecord> FlightRecorder::Recent(size_t max) const {

@@ -57,6 +57,9 @@ struct FlightRecord {
   /// The deadline fired while the request was still queued — it never
   /// reached the engine (truncated is also set).
   bool deadline_expired = false;
+  /// A span timeline was recorded for this request (sampling gate or
+  /// slow-pin force-on); ToJson() then links the /tracez URL.
+  bool sampled = false;
   /// Wall clock at completion, microseconds since the Unix epoch.
   /// Stamped by FlightRecorder::Record.
   int64_t completed_unix_micros = 0;
@@ -107,6 +110,13 @@ class FlightRecorder {
 
   uint64_t slow_threshold_micros() const { return options_.slow_micros; }
   size_t capacity() const { return options_.capacity; }
+
+  /// True when a record with this trace id is currently pinned in the
+  /// slow log — the dispatcher's force-on signal: a repeat of a request
+  /// an operator is already staring at in /slowz gets a span timeline
+  /// regardless of the sampling rate. Constant-time false until
+  /// something has been pinned, then a scan of the bounded slow log.
+  bool SlowPinned(uint64_t trace_id) const CAFE_EXCLUDES(slow_mu_);
 
   /// {"records":[...]} — newest first, at most `max` entries.
   std::string RecentJson(size_t max) const;

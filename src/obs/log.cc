@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <ctime>
 
+#include "obs/span.h"
 #include "util/mutex.h"
 
 namespace cafe::obs {
@@ -28,16 +29,18 @@ char SeverityLetter(LogSeverity severity) {
 }  // namespace
 
 std::string FormatLogLine(LogSeverity severity, std::string_view message,
-                          uint64_t trace_id, int64_t unix_micros) {
+                          uint64_t trace_id, int64_t unix_micros,
+                          uint32_t tid) {
   const std::time_t secs = static_cast<std::time_t>(unix_micros / 1000000);
   const int millis = static_cast<int>((unix_micros % 1000000) / 1000);
   std::tm tm{};
   gmtime_r(&secs, &tm);
-  char stamp[80];
+  char stamp[96];
   std::snprintf(stamp, sizeof(stamp),
-                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ %c ",
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ %c tid=%u ",
                 tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
-                tm.tm_min, tm.tm_sec, millis, SeverityLetter(severity));
+                tm.tm_min, tm.tm_sec, millis, SeverityLetter(severity),
+                tid);
   std::string line = stamp;
   if (trace_id != 0) {
     char trace[32];
@@ -55,7 +58,8 @@ void Log(LogSeverity severity, std::string_view message,
           std::chrono::system_clock::now().time_since_epoch())
           .count();
   const std::string line =
-      FormatLogLine(severity, message, trace_id, now_micros);
+      FormatLogLine(severity, message, trace_id, now_micros,
+                    DenseThreadId());
   MutexLock lock(&g_log_mu);
   std::FILE* sink = g_log_sink != nullptr ? g_log_sink : stderr;
   // The sink write *is* the critical section: g_log_mu exists to keep

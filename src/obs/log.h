@@ -2,9 +2,10 @@
 //
 // Every operational line cafe_serve (and src/server/) emits goes
 // through Log(): one line per call, with a UTC timestamp, a severity
-// letter, and — when the message concerns one request — its trace id,
-// so a log line can be joined against the flight recorder, the slow
-// log, and the client's own view of the same request. The
+// letter, the emitting thread's dense id (`tid=`, joinable against
+// span timelines), and — when the message concerns one request — its
+// trace id, so a log line can be joined against the flight recorder,
+// the slow log, and the client's own view of the same request. The
 // `cafe-no-raw-fprintf` repo lint rule (tools/lint_cafe.py) enforces
 // that the serving layer never bypasses this shim.
 //
@@ -31,11 +32,15 @@ enum class LogSeverity : int {
 };
 
 /// One formatted log line (no trailing newline):
-///   2026-08-07T12:34:56.789Z I trace=00000000deadbeef message
-/// `trace=` is omitted when trace_id is 0 (no request in scope);
-/// unix_micros is microseconds since the Unix epoch, UTC.
+///   2026-08-07T12:34:56.789Z I tid=3 trace=00000000deadbeef message
+/// `tid=` is the emitting thread's obs::DenseThreadId() — the same id
+/// span timelines carry, so a log line can be joined against the
+/// /tracez view of its request. `trace=` is omitted when trace_id is 0
+/// (no request in scope); unix_micros is microseconds since the Unix
+/// epoch, UTC.
 std::string FormatLogLine(LogSeverity severity, std::string_view message,
-                          uint64_t trace_id, int64_t unix_micros);
+                          uint64_t trace_id, int64_t unix_micros,
+                          uint32_t tid);
 
 /// Writes one line to the log sink (stderr by default), stamped with
 /// the current wall-clock time. Thread-safe; lines never interleave.

@@ -26,6 +26,7 @@ Result<SearchResult> BlastLikeSearch::Search(std::string_view query,
                                              : nullptr);
   obs::TraceSpan fine_span(trace != nullptr ? &trace->fine_micros
                                             : nullptr);
+  obs::Span search_span(options.spans, "search");
   if (trace != nullptr) ++trace->queries;
   SearchResult result;
   Aligner aligner(options.scoring);

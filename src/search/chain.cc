@@ -8,6 +8,7 @@
 #include "index/inverted_index.h"
 #include "index/seed_extract.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace cafe {
 namespace {
@@ -73,6 +74,7 @@ ChainOutcome ChainCandidates(std::string_view query,
     return Passthrough(std::move(candidates), options.band);
   }
   obs::TraceSpan span(trace != nullptr ? &trace->chain_micros : nullptr);
+  obs::Span chain_span(options.spans, "chain.filter");
 
   // Query term -> positions, with the index's own extraction plan (the
   // query side always extracts at stride 1, like the coarse phase).

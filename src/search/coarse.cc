@@ -6,6 +6,7 @@
 #include "index/interval.h"
 #include "index/inverted_index.h"
 #include "index/seed_extract.h"
+#include "obs/span.h"
 #include "util/timer.h"
 
 namespace cafe {
@@ -65,16 +66,17 @@ std::vector<CoarseCandidate> SelectTop(std::vector<CoarseCandidate> all,
 
 std::vector<CoarseCandidate> CoarseRanker::Rank(
     std::string_view query, CoarseRankMode mode, uint32_t limit,
-    uint32_t frame_width, SearchStats* stats,
-    obs::SearchTrace* trace) const {
+    uint32_t frame_width, SearchStats* stats, obs::SearchTrace* trace,
+    obs::SpanRecorder* spans) const {
   WallTimer timer;
   obs::TraceSpan span(trace != nullptr ? &trace->coarse_micros : nullptr);
+  obs::Span rank_span(spans, "coarse.rank");
   std::vector<CoarseCandidate> out;
   if (mode == CoarseRankMode::kDiagonal &&
       index_->options().granularity == IndexGranularity::kPositional) {
-    out = RankDiagonal(query, limit, frame_width, stats, trace);
+    out = RankDiagonal(query, limit, frame_width, stats, trace, spans);
   } else {
-    out = RankHitCount(query, limit, stats, trace);
+    out = RankHitCount(query, limit, stats, trace, spans);
   }
   if (trace != nullptr) {
     trace->candidates_kept += out.size();
@@ -85,21 +87,24 @@ std::vector<CoarseCandidate> CoarseRanker::Rank(
 
 std::vector<CoarseCandidate> CoarseRanker::RankHitCount(
     std::string_view query, uint32_t limit, SearchStats* stats,
-    obs::SearchTrace* trace) const {
+    obs::SearchTrace* trace, obs::SpanRecorder* spans) const {
   auto terms = QueryTermPositions(query, index_->options());
   TraceQueryTerms(index_, terms, trace);
 
   std::vector<double> acc(index_->num_docs(), 0.0);
   std::vector<uint32_t> touched;
   uint64_t postings = 0;
-  for (const auto& [term, qpositions] : terms) {
-    const auto qtf = static_cast<uint32_t>(qpositions.size());
-    index_->ScanPostings(
-        term, [&](uint32_t doc, uint32_t tf, const uint32_t*, uint32_t) {
-          if (acc[doc] == 0.0) touched.push_back(doc);
-          acc[doc] += std::min(qtf, tf);
-          ++postings;
-        });
+  {
+    obs::Span postings_span(spans, "index.postings");
+    for (const auto& [term, qpositions] : terms) {
+      const auto qtf = static_cast<uint32_t>(qpositions.size());
+      index_->ScanPostings(
+          term, [&](uint32_t doc, uint32_t tf, const uint32_t*, uint32_t) {
+            if (acc[doc] == 0.0) touched.push_back(doc);
+            acc[doc] += std::min(qtf, tf);
+            ++postings;
+          });
+    }
   }
 
   std::vector<CoarseCandidate> all;
@@ -122,7 +127,8 @@ std::vector<CoarseCandidate> CoarseRanker::RankHitCount(
 
 std::vector<CoarseCandidate> CoarseRanker::RankDiagonal(
     std::string_view query, uint32_t limit, uint32_t frame_width,
-    SearchStats* stats, obs::SearchTrace* trace) const {
+    SearchStats* stats, obs::SearchTrace* trace,
+    obs::SpanRecorder* spans) const {
   if (frame_width == 0) frame_width = 16;
   auto terms = QueryTermPositions(query, index_->options());
   TraceQueryTerms(index_, terms, trace);
@@ -133,22 +139,25 @@ std::vector<CoarseCandidate> CoarseRanker::RankDiagonal(
   std::unordered_map<uint64_t, uint32_t> frame_hits;
   frame_hits.reserve(1024);
   uint64_t postings = 0;
-  for (const auto& [term, qpositions] : terms) {
-    index_->ScanPostings(
-        term, [&](uint32_t doc, uint32_t tf, const uint32_t* positions,
-                  uint32_t npos) {
-          (void)tf;
-          ++postings;
-          for (uint32_t pi = 0; pi < npos; ++pi) {
-            for (uint32_t qpos : qpositions) {
-              int64_t diag = static_cast<int64_t>(positions[pi]) -
-                             static_cast<int64_t>(qpos);
-              uint64_t frame =
-                  static_cast<uint64_t>(diag + qlen) / frame_width;
-              ++frame_hits[(uint64_t{doc} << 32) | frame];
+  {
+    obs::Span postings_span(spans, "index.postings");
+    for (const auto& [term, qpositions] : terms) {
+      index_->ScanPostings(
+          term, [&](uint32_t doc, uint32_t tf, const uint32_t* positions,
+                    uint32_t npos) {
+            (void)tf;
+            ++postings;
+            for (uint32_t pi = 0; pi < npos; ++pi) {
+              for (uint32_t qpos : qpositions) {
+                int64_t diag = static_cast<int64_t>(positions[pi]) -
+                               static_cast<int64_t>(qpos);
+                uint64_t frame =
+                    static_cast<uint64_t>(diag + qlen) / frame_width;
+                ++frame_hits[(uint64_t{doc} << 32) | frame];
+              }
             }
-          }
-        });
+          });
+    }
   }
 
   // Combine each frame with its right neighbour so evidence straddling a

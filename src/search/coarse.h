@@ -36,21 +36,26 @@ class CoarseRanker {
   /// candidates_ranked, coarse_seconds) and, when `trace` is non-null,
   /// the coarse stages of the pruning funnel (interval/term counts,
   /// lists touched, candidates ranked/kept/discarded, coarse_micros).
+  /// When `spans` is non-null, records the coarse.rank span with a
+  /// nested index.postings span around the postings decode loop.
   std::vector<CoarseCandidate> Rank(std::string_view query,
                                     CoarseRankMode mode, uint32_t limit,
                                     uint32_t frame_width, SearchStats* stats,
-                                    obs::SearchTrace* trace = nullptr) const;
+                                    obs::SearchTrace* trace = nullptr,
+                                    obs::SpanRecorder* spans = nullptr) const;
 
  private:
   std::vector<CoarseCandidate> RankHitCount(std::string_view query,
                                             uint32_t limit,
                                             SearchStats* stats,
-                                            obs::SearchTrace* trace) const;
+                                            obs::SearchTrace* trace,
+                                            obs::SpanRecorder* spans) const;
   std::vector<CoarseCandidate> RankDiagonal(std::string_view query,
                                             uint32_t limit,
                                             uint32_t frame_width,
                                             SearchStats* stats,
-                                            obs::SearchTrace* trace) const;
+                                            obs::SearchTrace* trace,
+                                            obs::SpanRecorder* spans) const;
 
   const PostingSource* index_;
 };

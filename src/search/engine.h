@@ -18,6 +18,7 @@
 #include "align/alignment.h"
 #include "align/scoring.h"
 #include "align/statistics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/status.h"
@@ -130,6 +131,17 @@ struct SearchOptions {
   /// count. Null (the default) costs one branch per guarded site.
   obs::SearchTrace* trace = nullptr;
 
+  /// When non-null, the engine records named wall-clock spans (coarse
+  /// scan, chaining, per-partition fine workers, merge, post) into this
+  /// recorder — the per-request timeline behind /tracez and
+  /// `cafe_cli --trace-out`. Written from the calling thread and, for
+  /// worker spans, from fine-phase pool threads (SpanRecorder is
+  /// lock-free; see obs/span.h for the contract). The pointer must stay
+  /// valid for the duration of the call. Null (the default — the
+  /// unsampled case) costs one branch per guarded site, gated by
+  /// bench_micro_obs.
+  obs::SpanRecorder* spans = nullptr;
+
   /// When non-null, the engine polls this deadline at phase boundaries
   /// (and, in the partitioned fine phase, between candidates) and stops
   /// early: the call still succeeds, but the result carries whatever
@@ -232,10 +244,16 @@ class SearchEngine {
   /// i runs with options.deadline pointing at (*deadlines)[i] (the
   /// serving layer's per-request deadlines, which differ within one
   /// coalesced batch). Null keeps options.deadline for every query.
+  ///
+  /// `spans`, when non-null, must hold one SpanRecorder pointer per
+  /// query (null entries allowed — only sampled requests in a coalesced
+  /// batch carry a recorder); query i runs with options.spans pointing
+  /// at (*spans)[i]. Null keeps options.spans for every query.
   Result<std::vector<SearchResult>> BatchSearchTraced(
       const std::vector<std::string>& queries, const SearchOptions& options,
       std::vector<obs::SearchTrace>* traces,
-      const std::vector<Deadline>* deadlines = nullptr);
+      const std::vector<Deadline>* deadlines = nullptr,
+      const std::vector<obs::SpanRecorder*>* spans = nullptr);
 };
 
 /// Evaluates the query through `engine`, and — when

@@ -23,6 +23,7 @@ Result<SearchResult> FastaLikeSearch::Search(std::string_view query,
                                              : nullptr);
   obs::TraceSpan fine_span(trace != nullptr ? &trace->fine_micros
                                             : nullptr);
+  obs::Span search_span(options.spans, "search");
   if (trace != nullptr) ++trace->queries;
   SearchResult result;
   Aligner aligner(options.scoring);

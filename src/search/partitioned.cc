@@ -5,6 +5,7 @@
 
 #include "align/smith_waterman.h"
 #include "index/inverted_index.h"
+#include "obs/span.h"
 #include "search/chain.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -24,6 +25,13 @@ struct FineWorker {
   TopHits top;
   std::string seq;
   uint64_t aligned = 0;
+  // fine.worker span stamps: first/last candidate touched on this
+  // worker and the pool thread that ran it. Recorded via AddSpan after
+  // the join (a worker span must carry the pool thread's tid, but only
+  // the coordinating thread may assemble the timeline).
+  uint64_t span_begin_ns = 0;
+  uint64_t span_end_ns = 0;
+  uint32_t span_tid = 0;
   // Set when the deadline fired before this worker's share was done.
   bool truncated = false;
   // Lowest candidate index that failed, mirroring the sequential path's
@@ -95,6 +103,8 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
   obs::SearchTrace* trace = options.trace;
   obs::TraceSpan total_span(trace != nullptr ? &trace->total_micros
                                              : nullptr);
+  obs::SpanRecorder* spans = options.spans;
+  obs::Span search_span(spans, "search");
   if (trace != nullptr) ++trace->queries;
   SearchResult result;
 
@@ -109,7 +119,7 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
   // Coarse phase: rank by interval evidence, keep the fine-search budget.
   std::vector<CoarseCandidate> candidates = ranker_.Rank(
       query, options.coarse_mode, options.fine_candidates,
-      options.frame_width, &result.stats, trace);
+      options.frame_width, &result.stats, trace, spans);
 
   // Phase boundary: when the deadline fired during the coarse phase,
   // skip fine alignment entirely rather than starting work we cannot
@@ -142,44 +152,80 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
   const size_t workers =
       std::min<size_t>(std::max<uint32_t>(requested, 1), survivors.size());
 
-  if (workers <= 1) {
-    // Sequential reference path (--threads 1): no pool is created.
-    FineWorker w(options.scoring, options.max_results);
-    for (size_t i = 0; i < survivors.size(); ++i) {
-      AlignCandidate(*collection_, query, options, survivors[i], i, &w);
-      if (w.error_index != SIZE_MAX) return w.error;
-    }
-    result.hits = w.top.Take();
-    result.stats.candidates_aligned += w.aligned;
-    result.stats.cells_computed += w.aligner.cells_computed();
-    result.truncated = result.truncated || w.truncated;
-  } else {
-    std::vector<FineWorker> states;
-    states.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      states.emplace_back(options.scoring, options.max_results);
-    }
-    ThreadPool pool(static_cast<unsigned>(workers));
-    pool.ParallelFor(survivors.size(), [&](size_t i, unsigned w) {
-      AlignCandidate(*collection_, query, options, survivors[i], i,
-                     &states[w]);
-    });
-    const FineWorker* failed = nullptr;
-    for (const FineWorker& w : states) {
-      if (w.error_index != SIZE_MAX &&
-          (failed == nullptr || w.error_index < failed->error_index)) {
-        failed = &w;
+  {
+    // fine.align covers alignment plus merge; each participating worker
+    // additionally gets one fine.worker child (first-to-last candidate
+    // on that worker, stamped with the running thread). The sequential
+    // path emits the same span names as the pooled one so the timeline
+    // shape is thread-count invariant (span_test asserts this).
+    obs::Span fine_span(spans, "fine.align");
+    if (workers <= 1) {
+      // Sequential reference path (--threads 1): no pool is created.
+      FineWorker w(options.scoring, options.max_results);
+      if (spans != nullptr && !survivors.empty()) {
+        w.span_begin_ns = obs::SpanRecorder::NowNanos();
+        w.span_tid = obs::DenseThreadId();
       }
-    }
-    if (failed != nullptr) return failed->error;
-    TopHits top(options.max_results);
-    for (FineWorker& w : states) {
-      for (SearchHit& hit : w.top.Take()) top.Add(std::move(hit));
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        AlignCandidate(*collection_, query, options, survivors[i], i, &w);
+        if (w.error_index != SIZE_MAX) return w.error;
+      }
+      if (spans != nullptr && !survivors.empty()) {
+        w.span_end_ns = obs::SpanRecorder::NowNanos();
+        spans->AddSpan("fine.worker", fine_span.id(), w.span_tid,
+                       w.span_begin_ns, w.span_end_ns);
+      }
+      obs::Span merge_span(spans, "fine.merge");
+      result.hits = w.top.Take();
       result.stats.candidates_aligned += w.aligned;
       result.stats.cells_computed += w.aligner.cells_computed();
       result.truncated = result.truncated || w.truncated;
+    } else {
+      std::vector<FineWorker> states;
+      states.reserve(workers);
+      for (size_t w = 0; w < workers; ++w) {
+        states.emplace_back(options.scoring, options.max_results);
+      }
+      ThreadPool pool(static_cast<unsigned>(workers));
+      pool.ParallelFor(survivors.size(), [&](size_t i, unsigned w) {
+        FineWorker& state = states[w];
+        if (spans != nullptr && state.span_begin_ns == 0) {
+          state.span_begin_ns = obs::SpanRecorder::NowNanos();
+          state.span_tid = obs::DenseThreadId();
+        }
+        AlignCandidate(*collection_, query, options, survivors[i], i,
+                       &state);
+        if (spans != nullptr) {
+          state.span_end_ns = obs::SpanRecorder::NowNanos();
+        }
+      });
+      const FineWorker* failed = nullptr;
+      for (const FineWorker& w : states) {
+        if (w.error_index != SIZE_MAX &&
+            (failed == nullptr || w.error_index < failed->error_index)) {
+          failed = &w;
+        }
+      }
+      if (failed != nullptr) return failed->error;
+      if (spans != nullptr) {
+        // The pool has joined, so the stamps are visible here and the
+        // coordinating thread can assemble the worker spans.
+        for (const FineWorker& w : states) {
+          if (w.span_begin_ns == 0) continue;  // never ran a candidate
+          spans->AddSpan("fine.worker", fine_span.id(), w.span_tid,
+                         w.span_begin_ns, w.span_end_ns);
+        }
+      }
+      obs::Span merge_span(spans, "fine.merge");
+      TopHits top(options.max_results);
+      for (FineWorker& w : states) {
+        for (SearchHit& hit : w.top.Take()) top.Add(std::move(hit));
+        result.stats.candidates_aligned += w.aligned;
+        result.stats.cells_computed += w.aligner.cells_computed();
+        result.truncated = result.truncated || w.truncated;
+      }
+      result.hits = top.Take();
     }
-    result.hits = top.Take();
   }
 
   if (trace != nullptr) {
@@ -193,6 +239,7 @@ Result<SearchResult> PartitionedSearch::Search(std::string_view query,
   // the contract after a deadline is "return what you have, fast".
   obs::TraceSpan post_span(trace != nullptr ? &trace->post_micros
                                             : nullptr);
+  obs::Span post_process_span(spans, "post.process");
   Aligner post_aligner(options.scoring);
   std::string seq;
   if (options.rescore_full && !result.truncated) {

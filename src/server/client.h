@@ -46,6 +46,11 @@ class Client {
   /// `response->trace_id` always carries the id this request travelled
   /// under — the server's echo, or (against a v1 server that does not
   /// echo) the id that was sent.
+  ///
+  /// `response->sampled` (v3) reports whether the server recorded a
+  /// span timeline for this request; if so, its Chrome-trace JSON is
+  /// at /tracez?trace_id=… on the server's introspection port while
+  /// the span store retains it. False from an older server.
   [[nodiscard]] Status Search(const SearchRequest& request,
                               SearchResponse* response);
 

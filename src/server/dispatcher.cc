@@ -22,7 +22,9 @@ std::string HexFingerprint(const std::string& key) {
 
 Dispatcher::Dispatcher(SearchEngine* engine,
                        const DispatcherOptions& options)
-    : engine_(engine), options_(options) {
+    : engine_(engine),
+      options_(options),
+      sampler_(options.span_sample_rate) {
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* m = options_.metrics;
     accepted_ = m->GetCounter("server.requests_accepted");
@@ -44,7 +46,9 @@ Dispatcher::Dispatcher(SearchEngine* engine,
 
 Dispatcher::~Dispatcher() { Stop(); }
 
-Result<SearchResult> Dispatcher::Execute(const SearchRequest& request) {
+Result<SearchResult> Dispatcher::Execute(const SearchRequest& request,
+                                         bool* sampled) {
+  if (sampled != nullptr) *sampled = false;
   auto pending = std::make_shared<Pending>();
   pending->query = request.query;
   pending->options = request.ToSearchOptions();
@@ -56,6 +60,19 @@ Result<SearchResult> Dispatcher::Execute(const SearchRequest& request) {
   }
   pending->key = request.OptionsKey();
   pending->trace_id = request.trace_id;
+
+  // Span sampling: decided at admission so the timeline covers the
+  // queue wait too. The slow-log pin overrides the rate — a replayed
+  // request an operator already sees in /slowz always gets a timeline.
+  if (options_.span_store != nullptr &&
+      (sampler_.ShouldSample(request.trace_id) ||
+       (options_.flight != nullptr &&
+        options_.flight->SlowPinned(request.trace_id)))) {
+    pending->spans = std::make_unique<obs::SpanRecorder>(request.trace_id);
+    pending->root_span = pending->spans->StartSpan("request");
+    pending->queue_span = pending->spans->StartSpan("queue.wait");
+    pending->options.spans = pending->spans.get();
+  }
 
   {
     MutexLock lock(&mu_);
@@ -78,6 +95,9 @@ Result<SearchResult> Dispatcher::Execute(const SearchRequest& request) {
     request_micros_->Record(
         static_cast<uint64_t>(pending->admitted.Micros()));
   }
+  // Reported only for requests that completed (a rejected request's
+  // recorder never reached the span store).
+  if (sampled != nullptr) *sampled = pending->spans != nullptr;
   if (!pending->status.ok()) return pending->status;
   return std::move(pending->result);
 }
@@ -137,6 +157,10 @@ void Dispatcher::RunBatch(std::vector<std::shared_ptr<Pending>> batch) {
     if (queue_wait_micros_ != nullptr) {
       queue_wait_micros_->Record(p->queue_micros);
     }
+    // queue.wait ends for every member at dispatch — including the
+    // queue-expired ones, whose timeline is queue wait and nothing
+    // else.
+    if (p->spans != nullptr) p->spans->EndSpan(p->queue_span);
   }
 
   // Requests whose whole budget was spent queueing complete here as
@@ -158,17 +182,27 @@ void Dispatcher::RunBatch(std::vector<std::shared_ptr<Pending>> batch) {
 
   std::vector<std::string> queries;
   std::vector<Deadline> deadlines;
+  std::vector<obs::SpanRecorder*> span_ptrs;
   queries.reserve(live.size());
   deadlines.reserve(live.size());
+  span_ptrs.reserve(live.size());
   for (const auto& p : live) {
     queries.push_back(p->query);
     deadlines.push_back(p->deadline);
+    // batch.search covers engine evaluation for this member. Each
+    // request records into its own recorder (null for unsampled
+    // batch-mates), so coalescing never blurs timelines — the same
+    // isolation the per-query trace slots give the funnel counters.
+    if (p->spans != nullptr) {
+      p->batch_span = p->spans->StartSpan("batch.search");
+    }
+    span_ptrs.push_back(p->spans.get());
   }
 
   WallTimer search_timer;
   std::vector<obs::SearchTrace> traces;
   Result<std::vector<SearchResult>> results = engine_->BatchSearchTraced(
-      queries, live.front()->options, &traces, &deadlines);
+      queries, live.front()->options, &traces, &deadlines, &span_ptrs);
   if (search_micros_ != nullptr) {
     search_micros_->Record(static_cast<uint64_t>(search_timer.Micros()));
   }
@@ -189,6 +223,7 @@ void Dispatcher::RunBatch(std::vector<std::shared_ptr<Pending>> batch) {
     SearchOptions options = p->options;
     options.deadline = p->deadline.has_deadline() ? &p->deadline : nullptr;
     options.trace = &p->trace;  // keep the funnel even on the retry path
+    options.spans = p->spans.get();  // and the timeline
     Result<SearchResult> one =
         SearchWithStrands(engine_, p->query, options);
     if (one.ok()) {
@@ -213,7 +248,18 @@ void Dispatcher::Complete(const std::shared_ptr<Pending>& p, Status status,
   // mutex never nest under mu_.
   p->status = std::move(status);
   p->result = std::move(result);
+  // Close the timeline and hand it to the span store before `done` is
+  // published, so a client that sees the response's sampled flag can
+  // fetch /tracez immediately. Both stores use only leaf locks, so
+  // nothing nests under mu_.
+  if (p->spans != nullptr) {
+    p->spans->EndSpan(p->batch_span);
+    p->spans->EndSpan(p->root_span);
+  }
   RecordFlight(*p);
+  if (p->spans != nullptr && options_.span_store != nullptr) {
+    options_.span_store->Put(*p->spans);
+  }
   {
     MutexLock lock(&mu_);
     p->done = true;
@@ -233,6 +279,7 @@ void Dispatcher::RecordFlight(const Pending& p) {
   record.status_code = StatusCodeToWire(p.status);
   record.truncated = p.result.truncated;
   record.deadline_expired = p.deadline_expired;
+  record.sampled = p.spans != nullptr;
   options_.flight->Record(std::move(record));
 }
 

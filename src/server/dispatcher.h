@@ -29,6 +29,7 @@
 
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "search/engine.h"
 #include "server/protocol.h"
 #include "util/deadline.h"
@@ -65,6 +66,15 @@ struct DispatcherOptions {
   /// pruning funnel (the per-query slot of BatchSearchTraced, so
   /// batch-mates never blur each other's funnel).
   obs::FlightRecorder* flight = nullptr;
+  /// Fraction of admitted requests ([0,1]) that record a span timeline
+  /// (obs::SpanSampler decides per trace id). 0 — the default — turns
+  /// the gate off; a request whose trace id is pinned in the slow log
+  /// is force-sampled regardless, so an operator staring at /slowz can
+  /// replay the request and get its timeline.
+  double span_sample_rate = 0.0;
+  /// Where finished timelines go (the /tracez backing). Null disables
+  /// span recording entirely, whatever the rate.
+  obs::SpanStore* span_store = nullptr;
 };
 
 class Dispatcher {
@@ -81,8 +91,10 @@ class Dispatcher {
   /// with Status::Overloaded when the queue is full or the dispatcher
   /// is stopping. A result with `truncated` set means the request's
   /// deadline fired first.
-  Result<SearchResult> Execute(const SearchRequest& request)
-      CAFE_EXCLUDES(mu_);
+  /// `sampled`, when non-null, reports whether a span timeline was
+  /// recorded for this request (the wire response's v3 sampled flag).
+  Result<SearchResult> Execute(const SearchRequest& request,
+                               bool* sampled = nullptr) CAFE_EXCLUDES(mu_);
 
   /// Rejects new work, drains everything already admitted, joins the
   /// workers. Idempotent.
@@ -109,6 +121,15 @@ class Dispatcher {
     uint64_t queue_micros = 0;    // stamped when the batch is dispatched
     obs::SearchTrace trace;       // this request's slot of the batch trace
     bool deadline_expired = false;  // budget spent before dispatch
+    // Span timeline of a sampled request (null otherwise). The
+    // recorder rides the same ownership protocol as the other fields:
+    // the admitting thread opens request/queue.wait, the dequeuing
+    // worker ends queue.wait, runs the engine and hands the finished
+    // timeline to the span store before publishing `done`.
+    std::unique_ptr<obs::SpanRecorder> spans;
+    uint32_t root_span = 0;   // "request" (opened at admission)
+    uint32_t queue_span = 0;  // "queue.wait" (ended at dispatch)
+    uint32_t batch_span = 0;  // "batch.search" (live batch members)
     SearchResult result;
     Status status;
     bool done = false;
@@ -131,6 +152,7 @@ class Dispatcher {
 
   SearchEngine* const engine_;
   const DispatcherOptions options_;
+  obs::SpanSampler sampler_;
 
   // Lock order: stop_mu_ before mu_ — never the reverse.
   mutable Mutex mu_ CAFE_ACQUIRED_AFTER(stop_mu_);

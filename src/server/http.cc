@@ -180,8 +180,8 @@ void HttpServer::HandleConnection(int fd) {
   std::string head;
   if (ReadRequestHead(fd, &head)) {
     if (requests_ != nullptr) requests_->Increment();
-    // Request line: METHOD SP PATH SP VERSION. Query strings are not
-    // supported — everything from '?' on is ignored.
+    // Request line: METHOD SP PATH SP VERSION. Everything from '?' on
+    // is split off and handed to the handler as the raw query string.
     const size_t eol = head.find_first_of("\r\n");
     const std::string line = head.substr(0, eol);
     const size_t sp1 = line.find(' ');
@@ -196,9 +196,13 @@ void HttpServer::HandleConnection(int fd) {
       response.body = "only GET is supported\n";
     } else {
       std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      std::string query_string;
       const size_t query = path.find('?');
-      if (query != std::string::npos) path.resize(query);
-      response = handler_(path);
+      if (query != std::string::npos) {
+        query_string = path.substr(query + 1);
+        path.resize(query);
+      }
+      response = handler_(path, query_string);
     }
     WriteResponse(fd, response);
   }

@@ -42,9 +42,13 @@ struct HttpResponse {
   std::string body;
 };
 
-/// Maps a request path (e.g. "/metrics") to a response. Runs on a
-/// connection thread — must be thread-safe and should be quick.
-using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+/// Maps a request path (e.g. "/metrics") and its raw query string
+/// (everything after '?', without the '?'; empty when absent — e.g.
+/// "trace_id=00c0ffee" for "/tracez?trace_id=00c0ffee") to a response.
+/// Runs on a connection thread — must be thread-safe and should be
+/// quick.
+using HttpHandler = std::function<HttpResponse(const std::string& path,
+                                               const std::string& query)>;
 
 class HttpServer {
  public:

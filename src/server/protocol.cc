@@ -256,6 +256,7 @@ std::string EncodeSearchResponse(const SearchResponse& response) {
     PutU8(&out, hit.strand == Strand::kReverse ? 1 : 0);
   }
   PutU64(&out, response.trace_id);  // v2 trailing field
+  PutU8(&out, static_cast<uint8_t>(response.sampled));  // v3 trailing field
   return out;
 }
 
@@ -300,6 +301,16 @@ Status DecodeSearchResponse(std::string_view payload, SearchResponse* out) {
   out->trace_id = 0;
   if (!r.AtEnd()) {
     CAFE_RETURN_IF_ERROR(r.GetU64(&out->trace_id));
+  }
+  // v3 appended the sampled flag; a v2 payload ends with the trace id.
+  out->sampled = false;
+  if (!r.AtEnd()) {
+    uint8_t sampled = 0;
+    CAFE_RETURN_IF_ERROR(r.GetU8(&sampled));
+    if (sampled > 1) {
+      return Status::Corruption("search response: sampled out of range");
+    }
+    out->sampled = sampled != 0;
   }
   return r.ExpectDone();
 }

@@ -35,13 +35,16 @@ namespace cafe::server {
 
 inline constexpr uint32_t kFrameMagic = 0x45464143u;  // "CAFE"
 /// Current protocol version. v2 added the optional trailing trace-id
-/// field to SearchRequest and SearchResponse.
-inline constexpr uint16_t kProtocolVersion = 2;
+/// field to SearchRequest and SearchResponse; v3 added the trailing
+/// `sampled` byte to SearchResponse (the server recorded a span
+/// timeline for this request — see /tracez).
+inline constexpr uint16_t kProtocolVersion = 3;
 /// Oldest version this build still speaks. ReadFrame accepts any frame
-/// version in [kMinProtocolVersion, kProtocolVersion], and the
-/// trace-id field is a *trailing* addition, so a v1 payload (request
-/// or response) decodes here with trace_id = 0 — a v1 peer's Hello,
-/// requests and responses all still work against this build
+/// version in [kMinProtocolVersion, kProtocolVersion], and both the
+/// trace-id field (v2) and the sampled byte (v3) are *trailing*
+/// additions, so a v1 or v2 payload (request or response) decodes here
+/// with the missing fields at their zero defaults — an older peer's
+/// Hello, requests and responses all still work against this build
 /// (asserted both directions in protocol_test).
 inline constexpr uint16_t kMinProtocolVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 16;
@@ -109,6 +112,10 @@ struct SearchResponse {
   /// latency measurement with the server's flight-recorder entry.
   /// v2 wire field — 0 from a v1 server.
   uint64_t trace_id = 0;
+  /// True when the server recorded a span timeline for this request —
+  /// fetch it at /tracez?trace_id=… while it is still in the span
+  /// store. v3 wire field — false from an older server.
+  bool sampled = false;
 };
 
 // --- Payload codecs -------------------------------------------------

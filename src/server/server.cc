@@ -172,7 +172,10 @@ void Server::HandleConnection(int fd) {
             response.status = Status::InvalidArgument(
                 "query contains non-IUPAC characters");
           } else {
-            Result<SearchResult> result = dispatcher_->Execute(request);
+            bool sampled = false;
+            Result<SearchResult> result =
+                dispatcher_->Execute(request, &sampled);
+            response.sampled = sampled;
             if (result.ok()) {
               response.truncated = result->truncated;
               response.hits = std::move(result->hits);

@@ -51,13 +51,15 @@ class HttpServerTest : public ::testing::Test {
     HttpOptions options;
     options.metrics = &metrics_;
     server_ = std::make_unique<HttpServer>(
-        [](const std::string& path) {
+        [](const std::string& path, const std::string& query) {
           HttpResponse response;
           if (path == "/hello") {
             response.body = "hi there\n";
           } else if (path == "/json") {
             response.content_type = "application/json";
             response.body = "{\"ok\":true}";
+          } else if (path == "/echo") {
+            response.body = "query=" + query + "\n";
           } else {
             response.status = 404;
             response.body = "nope\n";
@@ -109,6 +111,17 @@ TEST_F(HttpServerTest, QueryStringIsStripped) {
       Exchange(server_->port(), "GET /hello?x=1 HTTP/1.0\r\n\r\n");
   EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
       << response;
+}
+
+TEST_F(HttpServerTest, QueryStringReachesHandler) {
+  StartServer();
+  std::string response = Exchange(
+      server_->port(), "GET /echo?trace_id=00c0ffee HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("query=trace_id=00c0ffee\n"), std::string::npos)
+      << response;
+  // No '?' means the handler sees an empty query string.
+  response = Exchange(server_->port(), "GET /echo HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("query=\n"), std::string::npos) << response;
 }
 
 TEST_F(HttpServerTest, NonGetIs405) {

@@ -311,7 +311,26 @@ TEST(HistogramTest, ApproxPercentileEdgeCases) {
 
   obs::Histogram one;
   one.Record(7);
+  // A single sample IS every percentile: the estimate clamps to the
+  // observed [min, max] range, which has collapsed to a point.
+  EXPECT_EQ(one.Snap().ApproxPercentile(0.0), 7u);
   EXPECT_EQ(one.Snap().ApproxPercentile(0.5), 7u);
+  EXPECT_EQ(one.Snap().ApproxPercentile(1.0), 7u);
+
+  // Every sample in one bucket ([64, 127] for these values): any
+  // quantile must land inside the bucket, clamped to the observed
+  // min/max rather than the bucket edges.
+  obs::Histogram packed;
+  packed.Record(100);
+  packed.Record(110);
+  packed.Record(120);
+  obs::Histogram::Snapshot snap = packed.Snap();
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    uint64_t v = snap.ApproxPercentile(q);
+    EXPECT_GE(v, 100u) << "q=" << q;
+    EXPECT_LE(v, 120u) << "q=" << q;
+  }
+  EXPECT_EQ(snap.ApproxPercentile(1.0), 120u);
 }
 
 // --- Windowed snapshots (DeltaFrom / MetricsRegistry::Delta) --------
@@ -414,14 +433,15 @@ TEST(LogTest, FormatLogLine) {
   // 1234567890 s + 123456 us since the epoch.
   const int64_t t = 1234567890123456;
   EXPECT_EQ(obs::FormatLogLine(obs::LogSeverity::kInfo, "hello world",
-                               /*trace_id=*/0, t),
-            "2009-02-13T23:31:30.123Z I hello world");
+                               /*trace_id=*/0, t, /*tid=*/0),
+            "2009-02-13T23:31:30.123Z I tid=0 hello world");
   EXPECT_EQ(obs::FormatLogLine(obs::LogSeverity::kError, "boom",
-                               /*trace_id=*/0xdeadbeef, t),
-            "2009-02-13T23:31:30.123Z E trace=00000000deadbeef boom");
+                               /*trace_id=*/0xdeadbeef, t, /*tid=*/3),
+            "2009-02-13T23:31:30.123Z E tid=3 "
+            "trace=00000000deadbeef boom");
   EXPECT_EQ(obs::FormatLogLine(obs::LogSeverity::kWarning, "careful",
-                               /*trace_id=*/0, t),
-            "2009-02-13T23:31:30.123Z W careful");
+                               /*trace_id=*/0, t, /*tid=*/12),
+            "2009-02-13T23:31:30.123Z W tid=12 careful");
 }
 
 }  // namespace

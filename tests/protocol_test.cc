@@ -367,8 +367,9 @@ TEST(ProtocolTest, TraceIdRoundTripsInResponse) {
 }
 
 TEST(ProtocolTest, V1PayloadsDecodeWithZeroTraceId) {
-  // A v1 peer's payloads are exactly the v2 encoding minus the trailing
-  // trace id, for both directions of the conversation.
+  // A v1 peer's payloads are the v3 encoding minus the trailing fields:
+  // the trace id (both directions) and, on responses, the v3 sampled
+  // byte that follows it.
   SearchRequest request = MakeRequest();
   request.trace_id = 77;  // must NOT leak into the v1-shaped decode
   std::string v1_request = EncodeSearchRequest(request);
@@ -380,16 +381,52 @@ TEST(ProtocolTest, V1PayloadsDecodeWithZeroTraceId) {
 
   SearchResponse response;
   response.trace_id = 99;
+  response.sampled = true;
   SearchHit hit;
   hit.seq_id = 5;
   response.hits.push_back(hit);
   std::string v1_response = EncodeSearchResponse(response);
-  v1_response.resize(v1_response.size() - sizeof(uint64_t));
+  v1_response.resize(v1_response.size() - sizeof(uint64_t) -
+                     sizeof(uint8_t));
   SearchResponse resp_out;
   ASSERT_TRUE(DecodeSearchResponse(v1_response, &resp_out).ok());
   EXPECT_EQ(resp_out.trace_id, 0u);
+  EXPECT_FALSE(resp_out.sampled);
   ASSERT_EQ(resp_out.hits.size(), 1u);
   EXPECT_EQ(resp_out.hits[0].seq_id, 5u);
+}
+
+TEST(ProtocolTest, SampledFlagRoundTripsInResponse) {
+  for (bool sampled : {false, true}) {
+    SearchResponse in;
+    in.trace_id = 0xabc;
+    in.sampled = sampled;
+    SearchResponse out;
+    ASSERT_TRUE(DecodeSearchResponse(EncodeSearchResponse(in), &out).ok());
+    EXPECT_EQ(out.sampled, sampled);
+    EXPECT_EQ(out.trace_id, 0xabcu);
+  }
+}
+
+TEST(ProtocolTest, V2ResponsesDecodeWithSampledFalse) {
+  // A v2 peer's response ends at the trace id; the missing sampled byte
+  // must read as "not sampled", not as corruption.
+  SearchResponse response;
+  response.trace_id = 0x1234;
+  response.sampled = true;  // must NOT leak into the v2-shaped decode
+  std::string v2_response = EncodeSearchResponse(response);
+  v2_response.resize(v2_response.size() - sizeof(uint8_t));
+  SearchResponse out;
+  ASSERT_TRUE(DecodeSearchResponse(v2_response, &out).ok());
+  EXPECT_EQ(out.trace_id, 0x1234u);
+  EXPECT_FALSE(out.sampled);
+
+  // The sampled byte is a strict boolean: anything else is corruption,
+  // not a silently-truthy flag.
+  std::string bad = EncodeSearchResponse(response);
+  bad.back() = 2;
+  Status s = DecodeSearchResponse(bad, &out);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
 }
 
 TEST(ProtocolTest, MinProtocolVersionFramesAccepted) {

@@ -1,10 +1,13 @@
 #!/bin/sh
 # End-to-end smoke test of the serving stack: build a small index,
 # start cafe_serve on an ephemeral port with the introspection
-# listener, drive it with cafe_loadgen (4 concurrent clients), follow
-# one trace id from the loadgen report into /slowz, validate /metrics
-# as Prometheus text exposition, fetch the stats document, then
-# SIGTERM the server and require a clean (exit 0) graceful shutdown.
+# listener and span sampling on, drive it with cafe_loadgen (4
+# concurrent clients), follow one trace id from the loadgen report
+# into /slowz and its span timeline out of /tracez (validated as
+# loadable Chrome trace JSON by tools/tracecheck.py), validate
+# /metrics as Prometheus text exposition, fetch the stats document,
+# then SIGTERM the server and require a clean (exit 0) graceful
+# shutdown.
 # Run by ctest as: serve_smoke_test.sh <cafe_cli> <cafe_serve> <cafe_loadgen>
 set -eu
 
@@ -45,12 +48,14 @@ with urllib.request.urlopen(sys.argv[1], timeout=10) as r:
     --index "$DIR/db.idx" --interval 8 > /dev/null
 
 # --slow-ms 0 pins every completed request into the slow log, so the
-# trace id the loadgen reports below is guaranteed to be in /slowz.
+# trace id the loadgen reports below is guaranteed to be in /slowz;
+# --span-sample-rate 1 records a span timeline for every request, so
+# the same id is guaranteed to answer on /tracez too.
 "$SERVE" --collection "$DIR/db.col" --index "$DIR/db.idx" \
-    --port 0 --port-file "$DIR/port" --workers 2 \
+    --port 0 --port-file "$DIR/port" --workers 2 --search-threads 2 \
     --http-port 0 --http-port-file "$DIR/http_port" \
     --slow-ms 0 --flight-capacity 64 --slow-capacity 64 \
-    --stats-interval 1 \
+    --span-sample-rate 1 --stats-interval 1 \
     > "$DIR/server.log" 2>&1 &
 SERVER_PID=$!
 
@@ -79,15 +84,20 @@ HTTP_PORT="$(cat "$DIR/http_port")"
 
 # Closed-loop run: 4 clients, queries excised from the collection itself
 # so the searches produce real hits. --slow-ms/--trace-ids turn on the
-# client-side latency report used to follow a trace id to the server.
+# client-side latency report used to follow a trace id to the server;
+# --http-port makes that report link each sampled id's /tracez URL.
 "$LOADGEN" --port "$PORT" --query-file "$DIR/db.fa" \
     --clients 4 --requests 8 --slow-ms 1 --trace-ids 3 \
+    --http-port "$HTTP_PORT" \
     > "$DIR/loadgen.log"
 grep -q "32 responses" "$DIR/loadgen.log"
 grep -q "errors 0" "$DIR/loadgen.log"
 grep -q "slow requests" "$DIR/loadgen.log"
 grep -q "latency buckets" "$DIR/loadgen.log"
 grep -q "slowest 3 requests:" "$DIR/loadgen.log"
+# With sampling at 1, every slow line carries the ready-made timeline
+# URL (the server's v3 sampled flag made it back to the client).
+grep -q "/tracez?trace_id=" "$DIR/loadgen.log"
 
 # The slowest request's trace id (16 hex digits) as the client saw it.
 TRACE_ID="$(sed -n 's/.*trace=\([0-9a-f]\{16\}\).*/\1/p' \
@@ -133,10 +143,14 @@ if [ "$HAVE_PYTHON" -eq 1 ]; then
   grep -q "cafe_server_request_micros_bucket" "$DIR/metrics.txt"
   python3 "$TOOLS_DIR/promcheck.py" "$DIR/metrics.txt"
 
-  # /statusz carries the runtime summary.
+  # /statusz carries the runtime summary, including the build/runtime
+  # facts: selected SIMD level, index mode, span sampling rate.
   fetch "http://127.0.0.1:$HTTP_PORT/statusz" > "$DIR/statusz.json"
   grep -q '"engine"' "$DIR/statusz.json"
   grep -q '"flight_recorded"' "$DIR/statusz.json"
+  grep -q '"simd"' "$DIR/statusz.json"
+  grep -q '"index_mode"' "$DIR/statusz.json"
+  grep -q '"span_sample_rate":1' "$DIR/statusz.json"
   python3 -m json.tool "$DIR/statusz.json" > /dev/null
 
   # /flightz is the recent-request ring.
@@ -154,7 +168,23 @@ if [ "$HAVE_PYTHON" -eq 1 ]; then
   fi
   grep -q '"candidates_aligned"' "$DIR/slowz.json"
   grep -q '"queue_us"' "$DIR/slowz.json"
+  # Every record was sampled (rate 1) and links its timeline.
+  grep -q '"sampled":true' "$DIR/slowz.json"
+  grep -q "\"tracez\":\"/tracez?trace_id=$TRACE_ID\"" "$DIR/slowz.json"
   python3 -m json.tool "$DIR/slowz.json" > /dev/null
+
+  # The span timeline behind that trace id: bare /tracez lists it, and
+  # /tracez?trace_id= returns Chrome trace JSON that tracecheck.py
+  # accepts — with the whole pipeline present (>= 8 distinct span
+  # names) including the fine-phase worker spans.
+  fetch "http://127.0.0.1:$HTTP_PORT/tracez" > "$DIR/tracez_list.json"
+  grep -q "\"trace_id\":\"$TRACE_ID\"" "$DIR/tracez_list.json"
+  python3 -m json.tool "$DIR/tracez_list.json" > /dev/null
+  fetch "http://127.0.0.1:$HTTP_PORT/tracez?trace_id=$TRACE_ID" \
+      > "$DIR/trace.json"
+  grep -q '"queue.wait"' "$DIR/trace.json"
+  python3 "$TOOLS_DIR/tracecheck.py" --min-names 8 \
+      --require fine.worker --require batch.search "$DIR/trace.json"
 
   # Unknown paths 404 without killing the listener.
   python3 -c '

@@ -14,13 +14,16 @@
 //       [--chain off|filter] [--min-chain N] [--seed-pattern P]
 //       [--index-mode memory|cached|mmap]   (--disk-index = cached)
 //       [--threads N]   (default: one per hardware thread; 1 = sequential)
-//       [--stats[=json]]
+//       [--stats[=json]] [--trace-out FILE]
 //   cafe_cli batch ...   (search over --query-file; same flags)
 //
 // --stats attaches the observability layer (src/obs/): per-query search
 // traces plus the process metrics registry, as text after the normal
 // output or, with --stats=json, as a single JSON document on stdout
-// (schema in docs/OBSERVABILITY.md).
+// (schema in docs/OBSERVABILITY.md). --trace-out records one span
+// timeline covering the whole run (index open + every query) and writes
+// it as Chrome trace-event JSON — load the file in Perfetto or
+// chrome://tracing.
 //
 // Exit status 0 on success, 1 on any error (message on stderr).
 
@@ -42,6 +45,7 @@
 #include "index/index_stats.h"
 #include "index/inverted_index.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "search/chain.h"
 #include "search/partitioned.h"
@@ -81,6 +85,7 @@ int Usage() {
       "cached)\n"
       "           [--threads N]  (0 = one per hardware thread)\n"
       "           [--stats[=json]]  (per-query traces + metrics)\n"
+      "           [--trace-out FILE]  (span timeline, Chrome trace JSON)\n"
       "  batch    search over a --query-file (same flags as search)\n"
       "  --version  print the build version and exit\n");
   return 1;
@@ -337,6 +342,7 @@ Status CmdSearch(FlagParser& flags, bool batch_mode) {
   bool use_disk = flags.GetBool("disk-index");
   std::string index_mode_flag = flags.GetString("index-mode", "");
   std::string mode = flags.GetString("mode", "diagonal");
+  std::string trace_out = flags.GetString("trace-out", "");
   Result<std::string> stats_flag = ParseStatsMode(flags);
   CAFE_RETURN_IF_ERROR(flags.Finish());
   if (!stats_flag.ok()) return stats_flag.status();
@@ -373,8 +379,19 @@ Status CmdSearch(FlagParser& flags, bool batch_mode) {
   if (!resolved.ok()) return resolved.status();
   IndexMode index_mode = *resolved;
 
+  // --trace-out records the whole run (index open + every query) into
+  // one timeline. Trace id 0 — this is a local run, not a wire request.
+  std::unique_ptr<obs::SpanRecorder> spans;
+  if (!trace_out.empty()) {
+    spans = std::make_unique<obs::SpanRecorder>(0);
+    options.spans = spans.get();
+  }
+
   obs::MetricsRegistry registry;
+  const uint32_t open_span =
+      spans != nullptr ? spans->StartSpan("index.open") : 0;
   Result<IndexReader> reader = IndexReader::Open(idx_path, index_mode);
+  if (spans != nullptr) spans->EndSpan(open_span);
   if (!reader.ok()) return reader.status();
   if (!stats_mode.empty()) {
     reader->AttachMetrics(&registry);
@@ -416,6 +433,19 @@ Status CmdSearch(FlagParser& flags, bool batch_mode) {
   Result<std::vector<SearchResult>> batch = engine.BatchSearchTraced(
       query_seqs, options, stats_mode.empty() ? nullptr : &traces);
   if (!batch.ok()) return batch.status();
+
+  if (spans != nullptr) {
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IOError("cannot write --trace-out file: " + trace_out);
+    }
+    const std::string trace_json = spans->ChromeTraceJson();
+    std::fwrite(trace_json.data(), 1, trace_json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "trace: %zu spans -> %s\n", spans->size(),
+                 trace_out.c_str());
+  }
 
   if (stats_mode == "json") {
     // JSON mode: stdout is exactly one document. Schema in

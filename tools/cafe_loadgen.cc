@@ -5,7 +5,7 @@
 //       [--clients N] [--requests N] [--duration SECONDS]
 //       [--rate PER_CLIENT_QPS]   (open loop; default closed loop)
 //       [--deadline-ms N] [--top N] [--candidates N] [--both-strands]
-//       [--stats-out FILE] [--slow-ms N] [--trace-ids N]
+//       [--stats-out FILE] [--slow-ms N] [--trace-ids N] [--http-port N]
 //   cafe_loadgen --version
 //
 // Each client thread opens its own connection and cycles through the
@@ -22,7 +22,10 @@
 // echoed trace ids of the N slowest requests (`trace=<16 hex>`, the
 // same rendering as server log lines and /flightz), so a slow request
 // seen from the client can be joined with the server's flight
-// recorder / slow log entry for it.
+// recorder / slow log entry for it. With --http-port (the server's
+// introspection port), each slow trace id is printed alongside its
+// /tracez URL — paste it into curl for the request's span timeline
+// when the server sampled it (`sampled` in the response says so).
 //
 // Exit status 0 when every request got a response (overloaded and
 // truncated count as responses), 1 otherwise.
@@ -61,6 +64,7 @@ struct LoadOptions {
   double rate = 0.0;       // per-client target qps; 0 = closed loop
   uint64_t slow_ms = 0;    // 0 = no slow/bucket report
   uint32_t trace_ids = 0;  // print ids of the N slowest; 0 = off
+  uint16_t http_port = 0;  // server introspection port; 0 = no URLs
   server::SearchRequest request_template;
 };
 
@@ -69,6 +73,7 @@ struct LoadOptions {
 struct Sample {
   uint64_t micros = 0;
   uint64_t trace_id = 0;
+  bool sampled = false;  // server recorded a span timeline for it
 };
 
 struct ClientStats {
@@ -116,7 +121,8 @@ void RunClient(const LoadOptions& opt,
     latency_micros->Record(micros);
     if (s.ok() && opt.trace_ids > 0) {
       // Client::Search always leaves the travelled id in the response.
-      stats->samples.push_back({micros, response.trace_id});
+      stats->samples.push_back({micros, response.trace_id,
+                                response.sampled});
     }
     if (s.ok() && opt.slow_ms > 0 && micros >= opt.slow_ms * 1000) {
       stats->slow += 1;
@@ -148,6 +154,7 @@ Status Run(FlagParser& flags) {
   opt.rate = flags.GetDouble("rate", 0.0);
   opt.slow_ms = static_cast<uint64_t>(flags.GetInt("slow-ms", 0));
   opt.trace_ids = static_cast<uint32_t>(flags.GetInt("trace-ids", 0));
+  opt.http_port = static_cast<uint16_t>(flags.GetInt("http-port", 0));
   opt.request_template.deadline_millis =
       static_cast<uint64_t>(flags.GetInt("deadline-ms", 0));
   opt.request_template.max_results =
@@ -265,9 +272,20 @@ Status Run(FlagParser& flags) {
     std::printf("  slowest %llu requests:\n",
                 static_cast<unsigned long long>(n));
     for (size_t i = 0; i < n; ++i) {
-      std::printf("    %.2fms trace=%016llx\n",
+      std::printf("    %.2fms trace=%016llx",
                   static_cast<double>(all[i].micros) / 1e3,
                   static_cast<unsigned long long>(all[i].trace_id));
+      if (opt.http_port > 0) {
+        // Link straight to the span timeline when the server kept one.
+        if (all[i].sampled) {
+          std::printf(" http://%s:%u/tracez?trace_id=%016llx",
+                      opt.host.c_str(), opt.http_port,
+                      static_cast<unsigned long long>(all[i].trace_id));
+        } else {
+          std::printf(" (not sampled)");
+        }
+      }
+      std::printf("\n");
     }
   }
 

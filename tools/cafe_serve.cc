@@ -7,7 +7,7 @@
 //       [--index-mode memory|cached|mmap]   (--disk-index = cached)
 //       [--http-port N] [--http-port-file FILE]
 //       [--slow-ms N] [--flight-capacity N] [--slow-capacity N]
-//       [--stats-interval SECONDS]
+//       [--span-sample-rate RATE] [--stats-interval SECONDS]
 //   cafe_serve --version
 //
 // --index-mode picks the index read path: memory (blob on heap),
@@ -25,9 +25,12 @@
 // --http-port (>= 0; 0 = ephemeral) additionally starts the live
 // introspection listener: /metrics (Prometheus text exposition),
 // /statusz (JSON status), /flightz and /slowz (flight recorder / slow
-// log as JSON). --slow-ms sets the slow-log pin threshold (0 pins every
-// request). --stats-interval N > 0 starts a stats thread that logs one
-// windowed-delta line every N seconds.
+// log as JSON), /tracez (span timelines as Chrome trace-event JSON).
+// --slow-ms sets the slow-log pin threshold (0 pins every request).
+// --span-sample-rate R records a span timeline for fraction R of
+// requests (0 = only requests whose trace id is pinned in the slow
+// log; 1 = all). --stats-interval N > 0 starts a stats thread that
+// logs one windowed-delta line every N seconds.
 //
 // Operational messages go through obs::Log (timestamped, severity,
 // trace-id aware); only usage/--version output and the port files are
@@ -52,12 +55,14 @@
 #include "index/index_reader.h"
 #include "obs/flight.h"
 #include "obs/log.h"
+#include "obs/span.h"
 #include "search/chain.h"
 #include "search/partitioned.h"
 #include "seqstore/packed_scan_simd.h"
 #include "server/http.h"
 #include "server/server.h"
 #include "util/flags.h"
+#include "util/simd.h"
 #include "util/timer.h"
 #include "util/version.h"
 
@@ -88,7 +93,7 @@ int Usage() {
       "cached)\n"
       "           [--http-port N] [--http-port-file FILE]\n"
       "           [--slow-ms N] [--flight-capacity N] [--slow-capacity N]\n"
-      "           [--stats-interval SECONDS]\n"
+      "           [--span-sample-rate RATE] [--stats-interval SECONDS]\n"
       "       cafe_serve --version\n");
   return 1;
 }
@@ -108,19 +113,30 @@ std::string StatuszJson(const server::Server& server,
                         const server::HttpServer& http,
                         const obs::FlightRecorder& flight,
                         const WallTimer& uptime, uint32_t sequences,
-                        const std::string& engine_name) {
-  char buf[256];
+                        const std::string& engine_name,
+                        IndexMode index_mode, double span_sample_rate) {
+  char buf[320];
   std::string out = "{\"version\":\"";
   out += obs::JsonEscape(kVersionString);
   out += "\",\"engine\":\"";
   out += obs::JsonEscape(engine_name);
   out += "\"";
+  // What this binary is actually running — build version above, SIMD
+  // tier, index read path and sampling rate here — so an operator
+  // never has to cross-reference startup logs.
+  out += ",\"simd\":\"";
+  out += obs::JsonEscape(SimdLevelName(ActiveSimdLevel()));
+  out += "\",\"index_mode\":\"";
+  out += obs::JsonEscape(IndexModeName(index_mode));
+  out += "\"";
   std::snprintf(buf, sizeof(buf),
+                ",\"span_sample_rate\":%g"
                 ",\"protocol\":%u,\"uptime_seconds\":%" PRIu64
                 ",\"sequences\":%u,\"port\":%u,\"http_port\":%u"
                 ",\"queue_depth\":%zu,\"flight_recorded\":%" PRIu64
                 ",\"slow_recorded\":%" PRIu64
                 ",\"slow_threshold_micros\":%" PRIu64 "}",
+                span_sample_rate,
                 static_cast<unsigned>(server::kProtocolVersion),
                 static_cast<uint64_t>(uptime.Micros() / 1000000), sequences,
                 static_cast<unsigned>(server.port()),
@@ -129,6 +145,34 @@ std::string StatuszJson(const server::Server& server,
                 flight.slow_threshold_micros());
   out += buf;
   return out;
+}
+
+// Extracts the 16-hex-digit trace id from a /tracez query string
+// ("trace_id=00c0ffee…"); false when absent or malformed.
+bool ParseTraceIdQuery(const std::string& query, uint64_t* trace_id) {
+  const std::string key = "trace_id=";
+  size_t pos = query.rfind(key, 0) == 0 ? key.size() : std::string::npos;
+  if (pos == std::string::npos) return false;
+  std::string value = query.substr(pos);
+  const size_t amp = value.find('&');
+  if (amp != std::string::npos) value.resize(amp);
+  if (value.empty() || value.size() > 16) return false;
+  uint64_t id = 0;
+  for (char c : value) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    id = (id << 4) | static_cast<uint64_t>(digit);
+  }
+  *trace_id = id;
+  return true;
 }
 
 // One windowed-delta log line: interval rates and interval latency
@@ -189,6 +233,8 @@ Status Run(FlagParser& flags) {
       static_cast<size_t>(flags.GetInt("flight-capacity", 256));
   flight_options.slow_capacity =
       static_cast<size_t>(flags.GetInt("slow-capacity", 64));
+  options.dispatcher.span_sample_rate =
+      flags.GetDouble("span-sample-rate", 0.0);
   int64_t stats_interval = flags.GetInt("stats-interval", 0);
   CAFE_RETURN_IF_ERROR(flags.Finish());
   if (col_path.empty() || idx_path.empty()) {
@@ -214,6 +260,8 @@ Status Run(FlagParser& flags) {
   WallTimer uptime;
   obs::FlightRecorder flight(flight_options);
   options.dispatcher.flight = &flight;
+  obs::SpanStore span_store;
+  options.dispatcher.span_store = &span_store;
   server::Server server(&engine, options);
   obs::MetricsRegistry* metrics = server.metrics();
   // Index read-path counters (disk_index.* / mmap_index.*) join the
@@ -233,7 +281,7 @@ Status Run(FlagParser& flags) {
   http_options.port = static_cast<uint16_t>(http_port < 0 ? 0 : http_port);
   http_options.metrics = metrics;
   server::HttpServer http(
-      [&](const std::string& path) {
+      [&](const std::string& path, const std::string& query_string) {
         server::HttpResponse response;
         if (path == "/metrics") {
           response.content_type =
@@ -241,21 +289,42 @@ Status Run(FlagParser& flags) {
           response.body = metrics->SnapshotPrometheus();
         } else if (path == "/statusz") {
           response.content_type = "application/json";
-          response.body = StatuszJson(server, http, flight, uptime,
-                                      col->NumSequences(), engine.name());
+          response.body =
+              StatuszJson(server, http, flight, uptime,
+                          col->NumSequences(), engine.name(), index_mode,
+                          options.dispatcher.span_sample_rate);
         } else if (path == "/flightz") {
           response.content_type = "application/json";
           response.body = flight.RecentJson(flight.capacity());
         } else if (path == "/slowz") {
           response.content_type = "application/json";
           response.body = flight.SlowJson(flight.capacity());
+        } else if (path == "/tracez") {
+          // ?trace_id=<16 hex> fetches one sampled timeline as Chrome
+          // trace-event JSON; bare /tracez lists what the store holds.
+          uint64_t trace_id = 0;
+          if (query_string.empty()) {
+            response.content_type = "application/json";
+            response.body = span_store.ListJson();
+          } else if (!ParseTraceIdQuery(query_string, &trace_id)) {
+            response.status = 400;
+            response.body = "expected ?trace_id=<hex id>\n";
+          } else if (!span_store.GetJson(trace_id, &response.body)) {
+            response.status = 404;
+            response.body =
+                "no sampled timeline for that trace id (not sampled, "
+                "or evicted)\n";
+          } else {
+            response.content_type = "application/json";
+          }
         } else if (path == "/") {
           response.body =
               "cafe_serve introspection\n"
               "/metrics  Prometheus text exposition\n"
               "/statusz  server status (JSON)\n"
               "/flightz  recent completed requests (JSON)\n"
-              "/slowz    pinned slow requests (JSON)\n";
+              "/slowz    pinned slow requests (JSON)\n"
+              "/tracez   sampled span timelines (Chrome trace JSON)\n";
         } else {
           response.status = 404;
           response.body = "unknown path " + path + "\n";
@@ -267,7 +336,7 @@ Status Run(FlagParser& flags) {
     CAFE_RETURN_IF_ERROR(http.Start());
     obs::LogInfo("introspection on http://" + options.bind_address + ":" +
                  std::to_string(http.port()) +
-                 " (/metrics /statusz /flightz /slowz)");
+                 " (/metrics /statusz /flightz /slowz /tracez)");
     if (!http_port_file.empty()) {
       CAFE_RETURN_IF_ERROR(WritePortFile(http_port_file, http.port()));
     }

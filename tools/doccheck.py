@@ -15,6 +15,17 @@ name. This check keeps that true in both directions, grep-style:
                 and every documented Prometheus name (`cafe_...` in
                 backticks) must be one a code metric actually exports
 
+docs/OBSERVABILITY.md also claims to catalogue every span name a
+timeline can contain (the `/tracez` view). Same bidirectional
+contract:
+
+  code -> doc   every string literal passed to StartSpan("..."),
+                AddSpan("...") or the RAII `obs::Span` constructor
+                under src/ and tools/ (outside src/obs/span.h, which
+                defines the type) must have a span-catalogue row
+  doc -> code   every span row (`| `name` | `parent` | `src/...` |`)
+                must name a file that really records that span
+
 docs/ARCHITECTURE.md ("Concurrency invariants") claims to inventory
 every mutex in the tree. Same bidirectional contract:
 
@@ -44,9 +55,23 @@ import re
 import sys
 
 GET_RE = re.compile(r'Get(Counter|Histogram)\(\s*"([^"]+)"')
-DOC_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+\.[a-z0-9_]+)`\s*\|")
+# Metric rows carry a bare counter/histogram type cell, which is what
+# tells them apart from the span-catalogue rows in the same document.
+DOC_ROW_RE = re.compile(
+    r"^\|\s*`([a-z0-9_]+\.[a-z0-9_]+)`\s*\|\s*(?:counter|histogram)\s*\|")
 DOC_PROM_RE = re.compile(r"`(cafe_[a-z0-9_]+)`")
 DOC_PATH = "docs/OBSERVABILITY.md"
+
+# Span recording sites: explicit StartSpan/AddSpan calls plus the RAII
+# wrapper (`obs::Span span(recorder, "name")`). The wrapper regex must
+# not match obs::TraceSpan, whose argument is a double*, not a name.
+SPAN_CALL_RE = re.compile(r'(?:StartSpan|AddSpan)\(\s*"([^"]+)"')
+SPAN_RAII_RE = re.compile(r'obs::Span\s+\w+\([^;]*?,\s*"([^"]+)"')
+# Span-catalogue rows: | `queue.wait` | `request` | `src/server/…` | …
+# (the parent cell is `root` for top-level spans).
+SPAN_ROW_RE = re.compile(
+    r"^\|\s*`([a-z0-9_.]+)`\s*\|\s*`([a-z0-9_.]+|root)`\s*\|\s*"
+    r"`((?:src|tools)/[\w./]+)`\s*\|")
 
 ARCH_PATH = "docs/ARCHITECTURE.md"
 # Inventory rows: | `Dispatcher::mu_` | `src/server/dispatcher.h` | …
@@ -108,6 +133,52 @@ def doc_metric_names(doc_text):
         if m:
             names.add(m.group(1))
     return names
+
+
+def code_span_names(root):
+    """{span name: set of files recording it} under src/ and tools/,
+    excluding src/obs/span.h (the type's own doc comments)."""
+    names = {}
+    for top in ("src", "tools"):
+        for dirpath, _, files in os.walk(os.path.join(root, top)):
+            for name in sorted(files):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                if rel == "src/obs/span.h":
+                    continue
+                with open(path, encoding="utf-8") as f:
+                    text = f.read()
+                for span in SPAN_CALL_RE.findall(text):
+                    names.setdefault(span, set()).add(rel)
+                for span in SPAN_RAII_RE.findall(text):
+                    names.setdefault(span, set()).add(rel)
+    return names
+
+
+def check_span_catalogue(root, doc_text, problems):
+    in_code = code_span_names(root)
+    rows = {}
+    for line in doc_text.split("\n"):
+        m = SPAN_ROW_RE.match(line)
+        if m:
+            rows[m.group(1)] = m.group(3)
+    for span in sorted(set(in_code) - set(rows)):
+        where = ", ".join(sorted(in_code[span]))
+        problems.append(
+            f"{where}: span {span!r} has no catalogue row in {DOC_PATH}")
+    for span, rel in sorted(rows.items()):
+        if span not in in_code:
+            problems.append(
+                f"{DOC_PATH}: span catalogue documents {span!r} but no "
+                f"recording site in src/ or tools/ uses it")
+        elif rel not in in_code[span]:
+            problems.append(
+                f"{DOC_PATH}: span catalogue claims {span!r} is recorded "
+                f"by {rel!r}, but the recording sites are "
+                f"{sorted(in_code[span])}")
+    return len(in_code), len(rows)
 
 
 def code_mutex_decls(root):
@@ -246,6 +317,7 @@ def main():
                 f"{DOC_PATH}: documents Prometheus name {prom!r} but "
                 f"/metrics exports no such series")
 
+    span_code, span_doc = check_span_catalogue(root, doc_text, problems)
     mutex_code, mutex_doc = check_mutex_inventory(root, problems)
 
     with open(os.path.join(root, PERF_PATH), encoding="utf-8") as f:
@@ -256,6 +328,7 @@ def main():
     for p in problems:
         print(p)
     print(f"doccheck: {len(in_code)} metrics in code, {len(in_doc)} in "
+          f"catalogue, {span_code} spans in code, {span_doc} in span "
           f"catalogue, {mutex_code} mutexes in code, {mutex_doc} in "
           f"inventory, {kernel_code} SIMD kernels in code, {kernel_doc} in "
           f"dispatch table, {bench_count} bench targets, "

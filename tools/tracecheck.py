@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validator for the Chrome trace-event JSON that /tracez and
+cafe_cli --trace-out emit.
+
+Checks what chrome://tracing or Perfetto would choke on, so span
+timelines stay loadable without opening a browser in CI:
+
+  - the document is a JSON object with a "traceEvents" array holding at
+    least one event (plus our "trace_id" string and "dropped" count)
+  - every event is a complete ("ph":"X") event with a non-empty string
+    name, numeric ts/dur >= 0, and integer pid/tid
+  - our "args" envelope carries the span tree: a positive integer id,
+    unique across events, and a parent that is 0 (root) or a known id
+  - at least one root span exists, and no event is its own parent
+
+Optional flags tighten the check for the smoke test:
+  --min-names N     require >= N distinct event names
+  --require NAME    require NAME among the event names (repeatable)
+
+Usage: tools/tracecheck.py [flags] FILE   (`-` = stdin; exit 0 = valid)
+       tools/tracecheck.py --selftest     (verify the checker itself)
+"""
+
+import argparse
+import json
+import sys
+
+
+def check(text, min_names=0, required=()):
+    """Returns a list of problem strings (empty = loadable timeline)."""
+    problems = []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        return [f"not JSON: {e}"]
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+
+    trace_id = doc.get("trace_id")
+    if not isinstance(trace_id, str) or len(trace_id) != 16:
+        problems.append(f"trace_id is not a 16-char string: {trace_id!r}")
+    dropped = doc.get("dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        problems.append(f"dropped is not a non-negative int: {dropped!r}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return problems + ["traceEvents is missing or not an array"]
+    if not events:
+        problems.append("traceEvents is empty")
+
+    ids = set()
+    names = set()
+    roots = 0
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: bad name {name!r}")
+        else:
+            names.add(name)
+        if ev.get("ph") != "X":
+            problems.append(f"{where}: ph is {ev.get('ph')!r}, want 'X'")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or v < 0:
+                problems.append(f"{where}: bad {key} {v!r}")
+        for key in ("pid", "tid"):
+            v = ev.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                problems.append(f"{where}: bad {key} {v!r}")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"{where}: args missing")
+            continue
+        span_id = args.get("id")
+        if not isinstance(span_id, int) or span_id <= 0:
+            problems.append(f"{where}: bad span id {span_id!r}")
+            continue
+        if span_id in ids:
+            problems.append(f"{where}: duplicate span id {span_id}")
+        ids.add(span_id)
+        parent = args.get("parent")
+        if not isinstance(parent, int) or parent < 0:
+            problems.append(f"{where}: bad parent {parent!r}")
+        elif parent == span_id:
+            problems.append(f"{where}: span {span_id} is its own parent")
+        elif parent == 0:
+            roots += 1
+
+    # Parents may be recorded before or after their children; resolve
+    # against the full id set once it is known.
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or not isinstance(ev.get("args"), dict):
+            continue
+        parent = ev["args"].get("parent")
+        if isinstance(parent, int) and parent > 0 and parent not in ids:
+            problems.append(f"event {i}: parent {parent} is not a "
+                            f"recorded span")
+    if events and not roots:
+        problems.append("no root span (every event has a parent)")
+
+    if len(names) < min_names:
+        problems.append(f"only {len(names)} distinct span name(s), "
+                        f"want >= {min_names}: {sorted(names)}")
+    for name in required:
+        if name not in names:
+            problems.append(f"required span name {name!r} missing "
+                            f"(have {sorted(names)})")
+    return problems
+
+
+def _doc(events, trace_id="00000000deadbeef", dropped=0):
+    return json.dumps(
+        {"trace_id": trace_id, "dropped": dropped, "traceEvents": events})
+
+
+def _event(name="request", span_id=1, parent=0, **over):
+    ev = {"name": name, "ph": "X", "ts": 0.0, "dur": 1.5, "pid": 1,
+          "tid": 0, "args": {"id": span_id, "parent": parent}}
+    ev.update(over)
+    return ev
+
+
+SELFTEST_CASES = [
+    # (document text, kwargs, expected problem count)
+    (_doc([_event(), _event("search", 2, 1)]), {}, 0),
+    ("not json {", {}, 1),
+    ("[1,2]", {}, 1),
+    (_doc([]), {}, 1),                                # no events
+    (json.dumps({"trace_id": "00000000deadbeef", "dropped": 0}), {}, 1),
+    (_doc([_event()], trace_id="short"), {}, 1),
+    (_doc([_event()], dropped=-1), {}, 1),
+    (_doc([_event(ph="B")]), {}, 1),                  # wrong phase
+    (_doc([_event(name="")]), {}, 1),
+    (_doc([_event(dur=-2.0)]), {}, 1),
+    (_doc([_event(tid="zero")]), {}, 1),
+    (_doc([_event(), _event("x", 1, 0)]), {}, 1),     # duplicate id
+    (_doc([_event("x", 2, 2)]), {}, 2),               # own parent + no root
+    (_doc([_event(), _event("x", 2, 99)]), {}, 1),    # unknown parent
+    (_doc([_event("search", 2, 1), _event()]), {}, 0),  # child-first order
+    (_doc([_event()]), {"min_names": 2}, 1),
+    (_doc([_event()]), {"required": ["fine.worker"]}, 1),
+    (_doc([_event(), _event("fine.worker", 2, 1)]),
+     {"required": ["fine.worker"], "min_names": 2}, 0),
+]
+
+
+def selftest():
+    failures = []
+    for i, (text, kwargs, want) in enumerate(SELFTEST_CASES):
+        got = check(text, **kwargs)
+        if len(got) != want:
+            failures.append(f"case {i}: expected {want} problem(s), "
+                            f"got {len(got)}: {got}")
+    for failure in failures:
+        print(f"selftest: {failure}")
+    print(f"tracecheck --selftest: {len(SELFTEST_CASES)} cases, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", nargs="?", help="trace JSON (- = stdin)")
+    parser.add_argument("--min-names", type=int, default=0)
+    parser.add_argument("--require", action="append", default=[])
+    parser.add_argument("--selftest", action="store_true")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.file:
+        parser.error("FILE is required (or --selftest)")
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, encoding="utf-8") as f:
+            text = f.read()
+    problems = check(text, min_names=args.min_names, required=args.require)
+    for p in problems:
+        print(p)
+    print(f"tracecheck: {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
